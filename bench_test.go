@@ -1,0 +1,331 @@
+// Package repro's root benchmark suite exposes one testing.B benchmark
+// per table and figure in the paper's evaluation (Section VI), plus
+// the ablations DESIGN.md calls out.  Each iteration regenerates the
+// complete artifact on the simulated testbed; custom metrics surface
+// the headline quantity so `go test -bench .` doubles as a results
+// summary:
+//
+//	go test -bench . -benchmem
+//	go test -bench Fig8 -benchtime 3x
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.DefaultConfig()
+}
+
+// BenchmarkFig7NumDisks regenerates Fig. 7: idle wall power versus the
+// number of populated disks.
+func BenchmarkFig7NumDisks(b *testing.B) {
+	var chassis, perDisk float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchConfig(), 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chassis, perDisk = r.ChassisWatts, r.PerDiskWatts
+	}
+	b.ReportMetric(chassis, "chassisW")
+	b.ReportMetric(perDisk, "W/disk")
+}
+
+// BenchmarkFig8LoadAccuracy regenerates Fig. 8: load-control accuracy
+// on the fixed-size synthetic trace.
+func BenchmarkFig8LoadAccuracy(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = r.MaxError
+	}
+	b.ReportMetric(maxErr*100, "maxErr%")
+}
+
+// BenchmarkFig9LoadEfficiency regenerates Fig. 9: energy efficiency as
+// a function of load proportion for several request sizes and read
+// ratios.
+func BenchmarkFig9LoadEfficiency(b *testing.B) {
+	var smallFull, largeFull float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		smallFull = r.SubA[0].Points[len(r.SubA[0].Points)-1].Eff.IOPSPerWatt
+		largeFull = r.SubA[len(r.SubA)-1].Points[len(r.SubA[0].Points)-1].Eff.IOPSPerWatt
+	}
+	b.ReportMetric(smallFull, "512B-IOPS/W")
+	b.ReportMetric(largeFull, "1MB-IOPS/W")
+}
+
+// BenchmarkFig10RandomRatio regenerates Fig. 10: energy efficiency as
+// a function of random ratio.
+func BenchmarkFig10RandomRatio(b *testing.B) {
+	var seq, rnd float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := r.SubA[1].Points // 4 KB series
+		seq = pts[0].Meas.Eff.MBPSPerKW
+		rnd = pts[len(pts)-1].Meas.Eff.MBPSPerKW
+	}
+	b.ReportMetric(seq, "seq-MBPS/kW")
+	b.ReportMetric(rnd, "rand-MBPS/kW")
+}
+
+// BenchmarkFig11ReadRatio regenerates Fig. 11: the read-ratio U-shape
+// at low random ratios.
+func BenchmarkFig11ReadRatio(b *testing.B) {
+	var dip float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq := r.Series[0].Points
+		ends := seq[0].Meas.Eff.MBPSPerKW
+		if e := seq[len(seq)-1].Meas.Eff.MBPSPerKW; e < ends {
+			ends = e
+		}
+		mid := seq[1].Meas.Eff.MBPSPerKW
+		for _, p := range seq[1 : len(seq)-1] {
+			if p.Meas.Eff.MBPSPerKW < mid {
+				mid = p.Meas.Eff.MBPSPerKW
+			}
+		}
+		dip = (ends - mid) / ends * 100
+	}
+	b.ReportMetric(dip, "U-dip%")
+}
+
+// BenchmarkFig12WebTimeline regenerates Fig. 12: the web-server trace
+// replayed at five load proportions.
+func BenchmarkFig12WebTimeline(b *testing.B) {
+	var fullIOPS float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullIOPS = r.Series[len(r.Series)-1].Total.Result.IOPS
+	}
+	b.ReportMetric(fullIOPS, "fullIOPS")
+}
+
+// BenchmarkTableIIIWebStats regenerates Table III: the synthetic web
+// trace's workload statistics.
+func BenchmarkTableIIIWebStats(b *testing.B) {
+	var readPct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableIII(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		readPct = r.Stats.ReadRatio * 100
+	}
+	b.ReportMetric(readPct, "read%")
+}
+
+// BenchmarkTableIVWebAccuracy regenerates Table IV: load-control
+// accuracy for the web-server trace.
+func BenchmarkTableIVWebAccuracy(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableIV(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = r.MaxErrIOPS
+		if r.MaxErrMBPS > maxErr {
+			maxErr = r.MaxErrMBPS
+		}
+	}
+	b.ReportMetric(maxErr*100, "maxErr%")
+}
+
+// BenchmarkTableVCelloAccuracy regenerates Table V: load-control
+// accuracy for the cello99-like trace (MBPS).
+func BenchmarkTableVCelloAccuracy(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableV(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = r.MaxErrMBPS
+	}
+	b.ReportMetric(maxErr*100, "maxErr%")
+}
+
+// BenchmarkSSDStudy regenerates the Section VI-G SSD results.
+func BenchmarkSSDStudy(b *testing.B) {
+	var idle float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SSDStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		idle = r.IdleWatts
+	}
+	b.ReportMetric(idle, "idleW")
+}
+
+// BenchmarkAblationUniformVsRandom measures the design-choice ablation
+// behind Section IV-A: uniform versus random bunch selection.
+func BenchmarkAblationUniformVsRandom(b *testing.B) {
+	var uni, rnd float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareFilters(benchConfig(), 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uni, rnd = r.UniformShapeErr, r.RandomShapeErr
+	}
+	b.ReportMetric(uni, "uniformShapeErr")
+	b.ReportMetric(rnd, "randomShapeErr")
+}
+
+// BenchmarkAblationGroupSize sweeps the bunch-group size G.
+func BenchmarkAblationGroupSize(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.GroupSizeSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range r.Rows {
+			if row.MaxErr > worst {
+				worst = row.MaxErr
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "maxErr%")
+}
+
+// BenchmarkAblationFilterVsScaler contrasts the proportional filter
+// with inter-arrival scaling at the same target intensity.
+func BenchmarkAblationFilterVsScaler(b *testing.B) {
+	var f, s float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareScaler(benchConfig(), 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, s = r.FilterLP, r.ScalerLP
+	}
+	b.ReportMetric(f, "filterLP")
+	b.ReportMetric(s, "scalerLP")
+}
+
+// BenchmarkAblationWritePaths sweeps RAID-5 write request sizes across
+// the full-stripe boundary.
+func BenchmarkAblationWritePaths(b *testing.B) {
+	var rmwWritesPerReq float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WritePathStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rmwWritesPerReq = r.Rows[0].DiskWritesPerReq
+	}
+	b.ReportMetric(rmwWritesPerReq, "diskWrites/4KReq")
+}
+
+// BenchmarkConservationStudy measures the energy-conservation
+// comparison (always-on vs TPM spin-down vs MAID) TRACER was built to
+// enable.
+func BenchmarkConservationStudy(b *testing.B) {
+	var maidSavings float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ConservationStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Technique == "maid" && row.Load == 1.0 {
+				maidSavings = row.SavingsPct
+			}
+		}
+	}
+	b.ReportMetric(maidSavings, "maidSavings%")
+}
+
+// BenchmarkThermalStudy measures the temperature-vs-load sweep (the
+// paper's future-work metric).
+func BenchmarkThermalStudy(b *testing.B) {
+	var hottest float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ThermalStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hottest = r.Rows[len(r.Rows)-1].SteadyHottestC
+	}
+	b.ReportMetric(hottest, "steadyHotC")
+}
+
+// BenchmarkDegradedMode measures the healthy-vs-degraded RAID-5 study.
+func BenchmarkDegradedMode(b *testing.B) {
+	var lossPct float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.DegradedStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr := r.Rows[0]
+		lossPct = (1 - rr.Degraded.Result.IOPS/rr.Healthy.Result.IOPS) * 100
+	}
+	b.ReportMetric(lossPct, "randReadLoss%")
+}
+
+// BenchmarkSchedulerAblation measures the FIFO/SSTF/LOOK comparison.
+func BenchmarkSchedulerAblation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SchedulerStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = r.Rows[1].Meas.Result.IOPS / r.Rows[0].Meas.Result.IOPS
+	}
+	b.ReportMetric(gain, "sstfSpeedup")
+}
+
+// BenchmarkERAIDStudy measures the redundancy-based power-saving
+// comparison.
+func BenchmarkERAIDStudy(b *testing.B) {
+	var savings float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ERAIDStudy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		savings = r.Rows[1].SavingsPct
+	}
+	b.ReportMetric(savings, "eraidSavings%")
+}
+
+// BenchmarkModeSweepSingle measures one cell of the paper's 125-trace
+// sweep end to end (collect + 10-load replay + metering).
+func BenchmarkModeSweepSingle(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ModeSweep(cfg, experiments.HDDArray, sweepMode)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var sweepMode = synth.Mode{RequestBytes: 16 << 10, ReadRatio: 0.5, RandomRatio: 0.5}

@@ -1,0 +1,90 @@
+// Command traceconv is the trace-format transformer (paper Section
+// III-A2): it converts HP SRT-style trace files into the blktrace
+// ".replay" format TRACER loads.  It also converts binary replay files
+// to the readable text format and back.
+//
+// Usage:
+//
+//	traceconv -in cello.srt -out cello.replay [-srcdev disk3] [-window 100us] [-outdev cello99]
+//	traceconv -in t.replay -out t.txt -mode bin2text
+//	traceconv -in t.txt -out t.replay -mode text2bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/blktrace"
+	"repro/internal/simtime"
+	"repro/internal/srt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traceconv", flag.ContinueOnError)
+	in := fs.String("in", "", "input file (required)")
+	outPath := fs.String("out", "", "output file (required)")
+	mode := fs.String("mode", "srt", "conversion: srt, bin2text or text2bin")
+	srcDev := fs.String("srcdev", "", "srt: filter records to one source device")
+	outDev := fs.String("outdev", "", "srt: device label for the output trace")
+	window := fs.Duration("window", 100_000, "srt: bunch coalescing window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *outPath == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	var tr *blktrace.Trace
+	switch *mode {
+	case "srt":
+		tr, err = srt.ConvertStream(src, srt.ConvertOptions{
+			Device:       *srcDev,
+			OutputDevice: *outDev,
+			BunchWindow:  simtime.FromStd(*window),
+		})
+	case "bin2text":
+		tr, err = blktrace.Read(src)
+	case "text2bin":
+		tr, err = blktrace.ReadText(src)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	dst, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if *mode == "bin2text" {
+		err = blktrace.WriteText(dst, tr)
+	} else {
+		err = blktrace.Write(dst, tr)
+	}
+	if err != nil {
+		dst.Close()
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	st := blktrace.ComputeStats(tr)
+	fmt.Fprintf(out, "converted %s -> %s (%s): %d IOs, %d bunches, %.3fs\n",
+		*in, *outPath, *mode, st.IOs, st.Bunches, st.Duration.Seconds())
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/srt"
+	"repro/internal/storage"
+)
+
+func writeSRT(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "in.srt")
+	recs := []srt.Record{
+		{Timestamp: 10.0, Device: "disk0", StartByte: 0, Length: 4096, Op: storage.Read},
+		{Timestamp: 10.00005, Device: "disk0", StartByte: 8192, Length: 8192, Op: storage.Write},
+		{Timestamp: 11.0, Device: "disk1", StartByte: 512, Length: 512, Op: storage.Read},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srt.WriteRecords(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestSRTConversion(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSRT(t, dir)
+	out := filepath.Join(dir, "out.replay")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out, "-srcdev", "disk0", "-outdev", "cello"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 IOs") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := blktrace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Device != "cello" || tr.NumIOs() != 2 {
+		t.Fatalf("trace = %s, %d IOs", tr.Device, tr.NumIOs())
+	}
+}
+
+func TestBinTextRoundTripViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSRT(t, dir)
+	bin := filepath.Join(dir, "t.replay")
+	txt := filepath.Join(dir, "t.txt")
+	bin2 := filepath.Join(dir, "t2.replay")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", bin}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bin, "-out", txt, "-mode", "bin2text"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", txt, "-out", bin2, "-mode", "text2bin"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(bin2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("bin -> text -> bin round trip changed the file")
+	}
+}
+
+func TestConvErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := run([]string{"-in", "nope.srt", "-out", "x"}, &buf); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	dir := t.TempDir()
+	in := writeSRT(t, dir)
+	if err := run([]string{"-in", in, "-out", filepath.Join(dir, "x"), "-mode", "magic"}, &buf); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}

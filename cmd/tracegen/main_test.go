@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blktrace"
+)
+
+func TestGenerateBinaryTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.replay")
+	var buf bytes.Buffer
+	err := run([]string{"-out", out, "-size", "8192", "-read", "1", "-random", "0", "-duration", "1s"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := blktrace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := blktrace.ComputeStats(tr)
+	if st.ReadRatio != 1 || st.AvgRequestBytes != 8192 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGenerateTextTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", out, "-text", "-duration", "500ms", "-device", "ssd"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := blktrace.ReadText(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-out", "x", "-device", "zip"}, &buf); err == nil {
+		t.Fatal("bad device accepted")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x"), "-size", "-4"}, &buf); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}

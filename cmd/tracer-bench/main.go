@@ -1,0 +1,284 @@
+// Command tracer-bench regenerates the paper's tables and figures on
+// the simulated testbed and prints them in the layout the paper uses.
+//
+// Usage:
+//
+//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep]
+//	             [-duration D] [-outdir DIR]
+//
+// With -outdir, each experiment also lands in its own .txt file so the
+// run is diffable against EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracer-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	name string
+	fn   func(experiments.Config, io.Writer) error
+}
+
+// table of regenerators, one per paper artifact.
+var table = []experiment{
+	{"fig7", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.Fig7(cfg, 6)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig7(w, r)
+		return nil
+	}},
+	{"fig8", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig8(w, r)
+		return nil
+	}},
+	{"fig9", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig9(w, r)
+		return nil
+	}},
+	{"fig10", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig10(w, r)
+		return nil
+	}},
+	{"fig11", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig11(w, r)
+		return nil
+	}},
+	{"fig12", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.Fig12(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig12(w, r)
+		return nil
+	}},
+	{"tableIII", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.TableIII(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTableIII(w, r)
+		return nil
+	}},
+	{"tableIV", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.TableIV(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderAccuracyTable(w, r)
+		return nil
+	}},
+	{"tableV", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.TableV(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderAccuracyTable(w, r)
+		return nil
+	}},
+	{"ssd", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.SSDStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSSDStudy(w, r)
+		return nil
+	}},
+	{"ablations", func(cfg experiments.Config, w io.Writer) error {
+		fc, err := experiments.CompareFilters(cfg, 0.2)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFilterComparison(w, fc)
+		gs, err := experiments.GroupSizeSweep(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderGroupSizeSweep(w, gs)
+		sc, err := experiments.CompareScaler(cfg, 0.5)
+		if err != nil {
+			return err
+		}
+		experiments.RenderScalerComparison(w, sc)
+		wp, err := experiments.WritePathStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderWritePathStudy(w, wp)
+		return nil
+	}},
+	{"conserve", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.ConservationStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderConservationStudy(w, r)
+		return nil
+	}},
+	{"thermal", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.ThermalStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderThermalStudy(w, r)
+		return nil
+	}},
+	{"degraded", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.DegradedStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderDegradedStudy(w, r)
+		return nil
+	}},
+	{"scheduler", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.SchedulerStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSchedulerStudy(w, r)
+		return nil
+	}},
+	{"eraid", func(cfg experiments.Config, w io.Writer) error {
+		r, err := experiments.ERAIDStudy(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderERAIDStudy(w, r)
+		return nil
+	}},
+	{"sweep", runSweep},
+}
+
+// runSweep is the scaled 125-trace sweep of Section VI step 1: by
+// default it samples a 3x3x3 mode grid at 4 load levels; -duration and
+// editing the grid scale it up to the paper's full 1250 runs.
+func runSweep(cfg experiments.Config, w io.Writer) error {
+	sizes := []int64{4 << 10, 64 << 10, 1 << 20}
+	ratios := []float64{0, 0.5, 1}
+	loads := []float64{0.25, 0.5, 0.75, 1.0}
+	fmt.Fprintln(w, "mode\tload%\tIOPS\tMBPS\twatts\tIOPS/W\tMBPS/kW")
+	runs := 0
+	for _, size := range sizes {
+		for _, rd := range ratios {
+			for _, rn := range ratios {
+				mode := synth.Mode{RequestBytes: size, ReadRatio: rd, RandomRatio: rn}
+				sweepCfg := cfg
+				sweepCfg.Loads = loads
+				rows, err := experiments.ModeSweep(sweepCfg, experiments.HDDArray, mode)
+				if err != nil {
+					return fmt.Errorf("sweep %s: %w", mode, err)
+				}
+				for _, m := range rows {
+					fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.3f\t%.1f\t%.3f\t%.2f\n",
+						mode, m.Load*100, m.Result.IOPS, m.Result.MBPS, m.Power,
+						m.Eff.IOPSPerWatt, m.Eff.MBPSPerKW)
+					runs++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d runs (paper's full grid: 125 modes x 10 loads = 1250)\n", runs)
+	return nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracer-bench", flag.ContinueOnError)
+	names := fs.String("run", "all", "comma-separated experiment names or 'all'")
+	duration := fs.Duration("duration", 2*time.Second, "per-trace collection duration (virtual time)")
+	outdir := fs.String("outdir", "", "also write one .txt per experiment into this directory")
+	list := fs.Bool("list", false, "list experiment names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range table {
+			fmt.Fprintln(out, e.name)
+		}
+		return nil
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.CollectDuration = simtime.FromStd(*duration)
+
+	want := map[string]bool{}
+	all := *names == "all"
+	for _, n := range strings.Split(*names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	ran := 0
+	for _, e := range table {
+		if !all && !want[e.name] {
+			continue
+		}
+		// "sweep" is heavyweight: only on explicit request.
+		if all && e.name == "sweep" {
+			continue
+		}
+		start := time.Now()
+		var sink io.Writer = out
+		var file *os.File
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				return err
+			}
+			var err error
+			file, err = os.Create(filepath.Join(*outdir, e.name+".txt"))
+			if err != nil {
+				return err
+			}
+			sink = io.MultiWriter(out, file)
+		}
+		fmt.Fprintf(out, "=== %s ===\n", e.name)
+		if err := e.fn(cfg, sink); err != nil {
+			if file != nil {
+				file.Close()
+			}
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q (use -list)", *names)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tableIII", "tableIV", "tableV", "ssd", "ablations", "conserve", "thermal", "degraded", "scheduler", "eraid", "sweep"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestRunSingleExperimentWithOutdir(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig7", "-outdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disks dominate") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "fig7.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "Fig. 7") {
+		t.Fatal("outdir file incomplete")
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig8,tableIII", "-duration", "1s"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== fig8 ===") || !strings.Contains(out, "=== tableIII ===") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/repository"
+	"repro/internal/srt"
+	"repro/internal/storage"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCollectRepoStatsTestQueryFlow(t *testing.T) {
+	dir := t.TempDir()
+	repoDir := filepath.Join(dir, "traces")
+	dbPath := filepath.Join(dir, "results.json")
+
+	out := runOK(t, "collect", "-repo", repoDir, "-size", "4096", "-read", "0", "-random", "0.5", "-duration", "1s")
+	if !strings.Contains(out, "collected") {
+		t.Fatalf("collect output: %s", out)
+	}
+
+	out = runOK(t, "repo", "-repo", repoDir)
+	if !strings.Contains(out, "rs4096_rd0_rn50") {
+		t.Fatalf("repo output: %s", out)
+	}
+	traceName := strings.Fields(out)[0]
+
+	out = runOK(t, "stats", "-repo", repoDir, "-trace", traceName)
+	if !strings.Contains(out, "read ratio 0.00%") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	out = runOK(t, "test", "-repo", repoDir, "-trace", traceName, "-loads", "20,100", "-db", dbPath)
+	if !strings.Contains(out, "IOPS/W") || !strings.Contains(out, "saved 2 records") {
+		t.Fatalf("test output: %s", out)
+	}
+
+	out = runOK(t, "query", "-db", dbPath)
+	if !strings.Contains(out, "raid5-hdd") {
+		t.Fatalf("query output: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 records
+		t.Fatalf("query lines = %d: %s", len(lines), out)
+	}
+}
+
+func TestGenRealAndTest(t *testing.T) {
+	dir := t.TempDir()
+	repoDir := filepath.Join(dir, "traces")
+	out := runOK(t, "gen-real", "-repo", repoDir, "-kind", "web")
+	if !strings.Contains(out, "web-o4") {
+		t.Fatalf("gen-real output: %s", out)
+	}
+	out = runOK(t, "gen-real", "-repo", repoDir, "-kind", "oltp")
+	if !strings.Contains(out, "oltp") {
+		t.Fatalf("gen-real oltp output: %s", out)
+	}
+	name := repository.RealName("raid5-hdd", "web-o4")
+	out = runOK(t, "test", "-repo", repoDir, "-trace", name, "-loads", "50")
+	if !strings.Contains(out, "50\t") {
+		t.Fatalf("test output: %s", out)
+	}
+}
+
+func TestConvertCommand(t *testing.T) {
+	dir := t.TempDir()
+	srtPath := filepath.Join(dir, "in.srt")
+	outPath := filepath.Join(dir, "out.replay")
+	recs := []srt.Record{
+		{Timestamp: 1.0, Device: "d0", StartByte: 0, Length: 4096, Op: storage.Read},
+		{Timestamp: 1.5, Device: "d0", StartByte: 8192, Length: 512, Op: storage.Write},
+	}
+	f, err := os.Create(srtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srt.WriteRecords(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := runOK(t, "convert", "-in", srtPath, "-out", outPath)
+	if !strings.Contains(out, "2 IOs") {
+		t.Fatalf("convert output: %s", out)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"stats"},
+		{"test"},
+		{"test", "-trace", "x", "-loads", "abc"},
+		{"test", "-trace", "x", "-device", "floppy"},
+		{"gen-real", "-kind", "nope", "-repo", "x"},
+		{"convert"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	// t.TempDir cleanup guards against stray writes from bad invocations.
+	if err := run([]string{"help"}, &buf); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+}
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("10, 50,100")
+	if err != nil || len(got) != 3 || got[0] != 0.1 || got[2] != 1.0 {
+		t.Fatalf("parseLoads = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "2000"} {
+		if _, err := parseLoads(bad); err == nil {
+			t.Errorf("parseLoads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceToolSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	repoDir := filepath.Join(dir, "traces")
+	runOK(t, "gen-real", "-repo", repoDir, "-kind", "web")
+	name := repository.RealName("raid5-hdd", "web-o4")
+
+	out := runOK(t, "slice", "-repo", repoDir, "-trace", name, "-from", "10s", "-to", "30s")
+	if !strings.Contains(out, "sliced") {
+		t.Fatalf("slice output: %s", out)
+	}
+	sliced := repository.RealName("raid5-hdd", strings.TrimSuffix(name, repository.Ext)+"-slice")
+
+	out = runOK(t, "merge", "-repo", repoDir, "-traces", name+","+sliced, "-label", "combo")
+	if !strings.Contains(out, "merged 2 traces") {
+		t.Fatalf("merge output: %s", out)
+	}
+
+	out = runOK(t, "remap", "-repo", repoDir, "-trace", name, "-from-bytes", "1099511627776", "-to-bytes", "1073741824")
+	if !strings.Contains(out, "remapped") {
+		t.Fatalf("remap output: %s", out)
+	}
+
+	out = runOK(t, "dump", "-repo", repoDir, "-trace", name, "-n", "3")
+	if !strings.Contains(out, "t=") || !strings.Contains(out, "more bunches") {
+		t.Fatalf("dump output: %s", out)
+	}
+}
+
+func TestTraceToolErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"slice"}, // missing trace/to
+		{"merge", "-traces", "onlyone"},
+		{"remap", "-trace", "x"}, // missing capacities
+		{"dump"},                 // missing trace
+	}
+	for _, args := range cases {
+		if err := run(append(args, "-repo", t.TempDir()), &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

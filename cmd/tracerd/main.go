@@ -1,0 +1,149 @@
+// Command tracerd runs TRACER's distributed agents (paper Fig. 3): a
+// workload generator owning a simulated array and a trace repository,
+// or a multi-channel power analyzer.  An evaluation host (cmd/tracer or
+// the cluster API) connects over TCP to drive tests.
+//
+// Usage:
+//
+//	tracerd -role analyzer  -listen 127.0.0.1:7071
+//	tracerd -role generator -listen 127.0.0.1:7070 -repo traces \
+//	        [-device hdd|ssd] [-analyzer 127.0.0.1:7071] [-channel ch0]
+//	tracerd -role host -generator 127.0.0.1:7070 -analyzer 127.0.0.1:7071 \
+//	        -trace NAME -loads 10,50,100 [-db results.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/host"
+	"repro/internal/netproto"
+	"repro/internal/repository"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracerd", flag.ContinueOnError)
+	role := fs.String("role", "", "agent role: generator, analyzer or host")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address (generator/analyzer)")
+	repoDir := fs.String("repo", "traces", "trace repository directory (generator)")
+	device := fs.String("device", "hdd", "array kind the generator provisions")
+	analyzerAddr := fs.String("analyzer", "", "power analyzer address")
+	channel := fs.String("channel", "ch0", "power analyzer channel name (generator)")
+	generatorAddr := fs.String("generator", "", "generator address (host)")
+	traceName := fs.String("trace", "", "trace to test (host)")
+	loadsStr := fs.String("loads", "100", "load percentages (host)")
+	dbPath := fs.String("db", "", "results database file (host)")
+	oneshot := fs.Bool("oneshot", false, "exit after binding (tests)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "tracerd ", log.LstdFlags)
+
+	switch *role {
+	case "analyzer":
+		a := cluster.NewAnalyzerAgent(logger)
+		addr, err := a.Listen(*listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "analyzer listening on %s\n", addr)
+		if *oneshot {
+			return a.Close()
+		}
+		waitForSignal()
+		return a.Close()
+
+	case "generator":
+		repo, err := repository.Open(*repoDir)
+		if err != nil {
+			return err
+		}
+		kind, err := experiments.KindFromString(*device)
+		if err != nil {
+			return err
+		}
+		factory := func() (*cluster.SystemUnderTest, error) {
+			e, a, err := experiments.NewSystem(experiments.DefaultConfig(), kind)
+			if err != nil {
+				return nil, err
+			}
+			return &cluster.SystemUnderTest{Engine: e, Device: a, Power: a.PowerSource(), Name: kind.String()}, nil
+		}
+		g := cluster.NewGeneratorAgent(repo, factory, *analyzerAddr, *channel, logger)
+		addr, err := g.Listen(*listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "generator listening on %s (repo %s, device %s)\n", addr, *repoDir, kind)
+		if *oneshot {
+			return g.Close()
+		}
+		waitForSignal()
+		return g.Close()
+
+	case "host":
+		if *generatorAddr == "" || *traceName == "" {
+			return fmt.Errorf("host role requires -generator and -trace")
+		}
+		var db *host.DB
+		var err error
+		if *dbPath != "" {
+			if db, err = host.LoadDB(*dbPath); err != nil {
+				return err
+			}
+		}
+		h, err := cluster.Dial(*generatorAddr, *analyzerAddr, db)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		fmt.Fprintln(out, "load%\tIOPS\tMBPS\twatts\tIOPS/W")
+		for _, part := range strings.Split(*loadsStr, ",") {
+			pct, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || pct <= 0 {
+				return fmt.Errorf("bad load %q", part)
+			}
+			load := pct / 100
+			outcome, err := h.RunTest(netproto.StartTest{TraceName: *traceName, LoadProportion: load},
+				*device, host.ModeVector{LoadProportion: load})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%.0f\t%.1f\t%.3f\t%.1f\t%.3f\n",
+				pct, outcome.Result.IOPS, outcome.Result.MBPS,
+				outcome.Power.MeanWatts, outcome.Record.Efficiency.IOPSPerWatt)
+		}
+		if db != nil {
+			if err := db.Save(*dbPath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "saved %d records to %s\n", db.Len(), *dbPath)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q (want generator, analyzer or host)", *role)
+	}
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOneshotRoles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-role", "analyzer", "-oneshot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "analyzer listening") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-role", "generator", "-repo", t.TempDir(), "-oneshot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "generator listening") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestBadRole(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-role", "mailman"}, &buf); err == nil {
+		t.Fatal("bad role accepted")
+	}
+	if err := run([]string{"-role", "host"}, &buf); err == nil {
+		t.Fatal("host without generator accepted")
+	}
+	if err := run([]string{"-role", "generator", "-device", "tape", "-repo", t.TempDir(), "-oneshot"}, &buf); err == nil {
+		t.Fatal("bad device accepted")
+	}
+}

@@ -1,0 +1,41 @@
+// Conservation demonstrates TRACER's purpose: comparing
+// energy-conservation techniques under identical, load-controlled
+// workloads.  A sparse web-server trace is replayed at three load
+// proportions against five configurations — an always-on JBOD, timeout
+// spin-down (TPM), dynamic RPM (DRPM), popular data concentration (PDC)
+// and a MAID — and the energy
+// savings and response-time penalties are reported side by side,
+// exactly the comparison Table I of the paper says the field lacked a
+// uniform way to make.
+//
+//	go run ./examples/conservation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Comparing energy-conservation techniques with TRACER...")
+	fmt.Println("(always-on vs TPM vs DRPM vs PDC vs MAID, sparse web workload)")
+	fmt.Println()
+	r, err := experiments.ConservationStudy(experiments.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderConservationStudy(os.Stdout, r)
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println(" - TPM alone finds no idle windows in a striped layout: it thrashes")
+	fmt.Println("   between standby and 6-second spin-ups, losing energy AND latency.")
+	fmt.Println(" - DRPM trades a slower spindle for modest savings with millisecond-")
+	fmt.Println("   scale penalties: it never stops the platter.")
+	fmt.Println(" - PDC migrates popular chunks onto the first disks so the rest can")
+	fmt.Println("   sleep: MAID-class savings without dedicated cache hardware.")
+	fmt.Println(" - MAID concentrates the hot set on an always-on cache disk, letting")
+	fmt.Println("   the data disks sleep for real: the largest savings at every load.")
+}

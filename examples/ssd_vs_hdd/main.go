@@ -1,0 +1,77 @@
+// ssd_vs_hdd reproduces Section VI-G's comparison: evaluate the same
+// workload modes on the 6-drive HDD RAID-5 and the 4-drive SLC SSD
+// RAID-5, reporting IOPS/Watt and MBPS/Kilowatt side by side.
+//
+//	go run ./examples/ssd_vs_hdd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/powersim"
+	"repro/internal/replay"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+func evaluate(kind experiments.ArrayKind, mode synth.Mode) metrics.Efficiency {
+	cfg := experiments.DefaultConfig()
+	// Collect the peak trace on a pristine array of this kind.
+	engine, array, err := experiments.NewSystem(cfg, kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := synth.Collect(engine, array, synth.CollectParams{
+		Mode:            mode,
+		Duration:        2 * simtime.Second,
+		QueueDepth:      8,
+		WorkingSetBytes: 8 << 30,
+		Seed:            1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Replay at full load on a fresh array and meter power.
+	engine, array, err = experiments.NewSystem(cfg, kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := replay.ReplayAtLoad(engine, array, trace, 1.0, replay.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter := powersim.DefaultMeter(array.PowerSource())
+	watts := powersim.MeanWatts(meter.Measure(res.Start, res.End))
+	return metrics.NewEfficiency(res.IOPS, res.MBPS, watts, 0)
+}
+
+func main() {
+	// Idle baselines first (the paper reports 195.8 W for the SSD array).
+	for _, kind := range []experiments.ArrayKind{experiments.HDDArray, experiments.SSDArray} {
+		engine, array, err := experiments.NewSystem(experiments.DefaultConfig(), kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine.RunUntil(simtime.Time(5 * simtime.Second))
+		meter := powersim.DefaultMeter(array.PowerSource())
+		fmt.Printf("%s idle: %.1f W\n", kind, powersim.MeanWatts(meter.Measure(0, engine.Now())))
+	}
+
+	modes := []synth.Mode{
+		{RequestBytes: 4 << 10, ReadRatio: 1, RandomRatio: 1},    // random reads
+		{RequestBytes: 4 << 10, ReadRatio: 0, RandomRatio: 1},    // random writes
+		{RequestBytes: 64 << 10, ReadRatio: 1, RandomRatio: 0},   // sequential reads
+		{RequestBytes: 64 << 10, ReadRatio: 0.5, RandomRatio: 0}, // sequential mix
+	}
+	fmt.Println("\nmode\t\t\tHDD IOPS/W\tSSD IOPS/W\tHDD MBPS/kW\tSSD MBPS/kW")
+	for _, mode := range modes {
+		h := evaluate(experiments.HDDArray, mode)
+		s := evaluate(experiments.SSDArray, mode)
+		fmt.Printf("%-22s\t%.3f\t%.3f\t%.2f\t%.2f\n", mode, h.IOPSPerWatt, s.IOPSPerWatt, h.MBPSPerKW, s.MBPSPerKW)
+	}
+	fmt.Println("\nSSD-based RAID-5 wins decisively on random workloads (no seeks);")
+	fmt.Println("its energy efficiency is strongly shaped by read/write ratio (GC cost).")
+}

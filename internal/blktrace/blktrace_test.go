@@ -1,0 +1,329 @@
+package blktrace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Device: "raid5-hdd",
+		Bunches: []Bunch{
+			{Time: 0, Packages: []IOPackage{
+				{Sector: 0, Size: 4096, Op: storage.Read},
+				{Sector: 1024, Size: 8192, Op: storage.Write},
+			}},
+			{Time: simtime.Millisecond, Packages: []IOPackage{
+				{Sector: 8, Size: 4096, Op: storage.Read},
+			}},
+			{Time: 5 * simtime.Millisecond, Packages: []IOPackage{
+				{Sector: 16, Size: 512, Op: storage.Write},
+				{Sector: 17, Size: 512, Op: storage.Write},
+				{Sector: 2000, Size: 65536, Op: storage.Read},
+			}},
+		},
+	}
+}
+
+// randomTrace builds a structurally valid random trace for round-trip
+// property tests.
+func randomTrace(rng *rand.Rand, maxBunches int) *Trace {
+	t := &Trace{Device: "dev"}
+	var at simtime.Duration
+	n := rng.IntN(maxBunches + 1)
+	for i := 0; i < n; i++ {
+		at += simtime.Duration(rng.Int64N(int64(10 * simtime.Millisecond)))
+		np := 1 + rng.IntN(5)
+		b := Bunch{Time: at}
+		for j := 0; j < np; j++ {
+			op := storage.Read
+			if rng.IntN(2) == 1 {
+				op = storage.Write
+			}
+			b.Packages = append(b.Packages, IOPackage{
+				Sector: rng.Int64N(1 << 30),
+				Size:   512 * (1 + rng.Int64N(256)),
+				Op:     op,
+			})
+		}
+		t.Bunches = append(t.Bunches, b)
+	}
+	return t
+}
+
+func TestCounts(t *testing.T) {
+	tr := sampleTrace()
+	if tr.NumBunches() != 3 {
+		t.Fatalf("NumBunches = %d, want 3", tr.NumBunches())
+	}
+	if tr.NumIOs() != 6 {
+		t.Fatalf("NumIOs = %d, want 6", tr.NumIOs())
+	}
+	if tr.Duration() != 5*simtime.Millisecond {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	want := int64(4096 + 8192 + 4096 + 512 + 512 + 65536)
+	if tr.TotalBytes() != want {
+		t.Fatalf("TotalBytes = %d, want %d", tr.TotalBytes(), want)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{Device: "x"}
+	if tr.Duration() != 0 || tr.NumIOs() != 0 || tr.TotalBytes() != 0 {
+		t.Fatal("empty trace should have zero counts")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("empty trace should validate: %v", err)
+	}
+	s := ComputeStats(tr)
+	if s.IOs != 0 || s.MeanIOPS != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := map[string]*Trace{
+		"decreasing time": {Bunches: []Bunch{
+			{Time: 10, Packages: []IOPackage{{Size: 512}}},
+			{Time: 5, Packages: []IOPackage{{Size: 512}}},
+		}},
+		"negative time": {Bunches: []Bunch{
+			{Time: -1, Packages: []IOPackage{{Size: 512}}},
+		}},
+		"empty bunch": {Bunches: []Bunch{{Time: 0}}},
+		"zero size": {Bunches: []Bunch{
+			{Time: 0, Packages: []IOPackage{{Size: 0}}},
+		}},
+		"negative sector": {Bunches: []Bunch{
+			{Time: 0, Packages: []IOPackage{{Sector: -5, Size: 512}}},
+		}},
+	}
+	for name, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid trace", name)
+		}
+	}
+}
+
+func TestRequestConversion(t *testing.T) {
+	p := IOPackage{Sector: 10, Size: 4096, Op: storage.Write}
+	r := p.Request()
+	if r.Offset != 10*storage.SectorSize || r.Size != 4096 || r.Op != storage.Write {
+		t.Fatalf("Request = %+v", r)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := sampleTrace()
+	cp := tr.Clone()
+	if !reflect.DeepEqual(tr, cp) {
+		t.Fatal("clone differs from original")
+	}
+	cp.Bunches[0].Packages[0].Sector = 999
+	if tr.Bunches[0].Packages[0].Sector == 999 {
+		t.Fatal("clone shares package storage with original")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := &Trace{Bunches: []Bunch{
+		{Time: 0, Packages: []IOPackage{
+			{Sector: 0, Size: 4096, Op: storage.Read},  // random (first)
+			{Sector: 8, Size: 4096, Op: storage.Write}, // sequential (continues 0+4096 = sector 8)
+		}},
+		{Time: 2 * simtime.Second, Packages: []IOPackage{
+			{Sector: 1000, Size: 8192, Op: storage.Read}, // random
+			{Sector: 1016, Size: 8192, Op: storage.Read}, // sequential
+		}},
+	}}
+	s := ComputeStats(tr)
+	if s.IOs != 4 || s.Bunches != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ReadRatio != 0.75 {
+		t.Fatalf("ReadRatio = %v, want 0.75", s.ReadRatio)
+	}
+	if s.RandomRatio != 0.5 {
+		t.Fatalf("RandomRatio = %v, want 0.5", s.RandomRatio)
+	}
+	if s.AvgRequestBytes != (4096+4096+8192+8192)/4.0 {
+		t.Fatalf("AvgRequestBytes = %v", s.AvgRequestBytes)
+	}
+	if s.MeanIOPS != 2 { // 4 IOs over 2 seconds
+		t.Fatalf("MeanIOPS = %v, want 2", s.MeanIOPS)
+	}
+	if s.MaxBunchSize != 2 {
+		t.Fatalf("MaxBunchSize = %v", s.MaxBunchSize)
+	}
+}
+
+func TestBuilderCoalescesEqualTimes(t *testing.T) {
+	b := NewBuilder("dev0")
+	mustRecord := func(at simtime.Duration, p IOPackage) {
+		t.Helper()
+		if err := b.Record(at, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRecord(0, IOPackage{Sector: 1, Size: 512, Op: storage.Read})
+	mustRecord(0, IOPackage{Sector: 2, Size: 512, Op: storage.Read})
+	mustRecord(simtime.Millisecond, IOPackage{Sector: 3, Size: 512, Op: storage.Write})
+	tr := b.Trace()
+	if tr.NumBunches() != 2 {
+		t.Fatalf("NumBunches = %d, want 2", tr.NumBunches())
+	}
+	if len(tr.Bunches[0].Packages) != 2 {
+		t.Fatalf("first bunch has %d packages, want 2", len(tr.Bunches[0].Packages))
+	}
+	if tr.Device != "dev0" {
+		t.Fatalf("Device = %q", tr.Device)
+	}
+}
+
+func TestBuilderRejectsTimeTravel(t *testing.T) {
+	b := NewBuilder("dev")
+	if err := b.Record(simtime.Second, IOPackage{Sector: 1, Size: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Record(simtime.Millisecond, IOPackage{Sector: 2, Size: 512}); err == nil {
+		t.Fatal("Record accepted decreasing time")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("%v\ntext was:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", tr, got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("Read accepted garbage")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Read accepted empty input")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, 13, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("Read accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+func TestReadTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"package outside bunch": "# blktrace-text v1\ndevice d\n5 512 R\n",
+		"bad op":                "# blktrace-text v1\ndevice d\nB 0 1\n5 512 X\n",
+		"truncated bunch":       "# blktrace-text v1\ndevice d\nB 0 2\n5 512 R\n",
+		"bad header":            "# blktrace-text v1\ndevice d\nB zero 1\n5 512 R\n",
+		"early new bunch":       "# blktrace-text v1\ndevice d\nB 0 2\n5 512 R\nB 10 1\n6 512 R\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ReadText accepted malformed input", name)
+		}
+	}
+}
+
+// Property: binary and text codecs round-trip arbitrary valid traces.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		tr := randomTrace(rng, 30)
+		var bin, txt bytes.Buffer
+		if err := Write(&bin, tr); err != nil {
+			return false
+		}
+		got1, err := Read(&bin)
+		if err != nil || !reflect.DeepEqual(tr, got1) {
+			return false
+		}
+		if err := WriteText(&txt, tr); err != nil {
+			return false
+		}
+		got2, err := ReadText(&txt)
+		if err != nil {
+			return false
+		}
+		// Empty traces: text codec cannot represent "no bunches" distinct
+		// from nil; normalise.
+		if len(tr.Bunches) == 0 {
+			return len(got2.Bunches) == 0
+		}
+		return reflect.DeepEqual(tr, got2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	tr := randomTrace(rng, 5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	tr := randomTrace(rng, 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

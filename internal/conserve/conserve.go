@@ -1,0 +1,358 @@
+// Package conserve implements the mainstream energy-conservation
+// techniques TRACER exists to evaluate (paper Table I and Section VII:
+// "We will leverage TRACER to make further measurements on mainstream
+// energy-conservation techniques").
+//
+// Two classic techniques are provided, plus the always-on baseline:
+//
+//   - TPM (traditional power management): spin a disk down after a
+//     fixed idle timeout; the next request pays the spin-up latency.
+//
+//   - MAID (massive array of idle disks, Colarelli & Grunwald 2002): a
+//     small set of always-on cache disks absorbs the hot working set
+//     while the bulk data disks spin down under TPM; reads that hit
+//     cache never wake a data disk, writes are absorbed by the cache
+//     and destaged on eviction.
+//
+// Both are storage.Device implementations, so TRACER's load-controlled
+// replay and power metering evaluate them exactly as they evaluate a
+// plain array — the uniform way of comparing energy-saving techniques
+// the paper calls for.
+package conserve
+
+import (
+	"fmt"
+
+	"repro/internal/disksim"
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// SpinDowner is a disk whose spindle a policy may stop.
+// *disksim.HDD implements it.
+type SpinDowner interface {
+	storage.Device
+	Timeline() *powersim.Timeline
+	Standby() bool
+	InStandby() bool
+}
+
+// ManagedDisk wraps a disk with TPM: after Timeout with no activity it
+// puts the spindle into standby.  It satisfies raid.Disk, so whole
+// managed arrays compose from managed members.
+type ManagedDisk struct {
+	engine *simtime.Engine
+	disk   SpinDowner
+	// Timeout is the idle threshold before spin-down.
+	timeout simtime.Duration
+
+	lastActivity simtime.Time
+	outstanding  int
+}
+
+// NewManagedDisk wraps disk with a timeout spin-down policy.
+func NewManagedDisk(engine *simtime.Engine, disk SpinDowner, timeout simtime.Duration) *ManagedDisk {
+	if timeout <= 0 {
+		panic("conserve: timeout must be positive")
+	}
+	m := &ManagedDisk{engine: engine, disk: disk, timeout: timeout}
+	m.armTimer()
+	return m
+}
+
+// armTimer schedules the idle check one timeout from now.
+func (m *ManagedDisk) armTimer() {
+	deadline := m.engine.Now().Add(m.timeout)
+	m.engine.Schedule(deadline, func() { m.check(deadline) })
+}
+
+// check spins the disk down when it has been idle for a full timeout.
+func (m *ManagedDisk) check(deadline simtime.Time) {
+	if m.outstanding > 0 || m.disk.InStandby() {
+		return // a completion or wake re-arms as needed
+	}
+	if deadline.Sub(m.lastActivity) >= m.timeout {
+		m.disk.Standby()
+		return
+	}
+	// Activity happened since this timer was armed; re-check at
+	// lastActivity+timeout.
+	next := m.lastActivity.Add(m.timeout)
+	m.engine.Schedule(next, func() { m.check(next) })
+}
+
+// Submit implements storage.Device.
+func (m *ManagedDisk) Submit(req storage.Request, done func(simtime.Time)) {
+	m.lastActivity = m.engine.Now()
+	m.outstanding++
+	m.disk.Submit(req, func(finish simtime.Time) {
+		m.outstanding--
+		m.lastActivity = finish
+		if m.outstanding == 0 {
+			next := finish.Add(m.timeout)
+			m.engine.Schedule(next, func() { m.check(next) })
+		}
+		done(finish)
+	})
+}
+
+// Capacity implements storage.Device.
+func (m *ManagedDisk) Capacity() int64 { return m.disk.Capacity() }
+
+// Timeline exposes the wrapped disk's power timeline.
+func (m *ManagedDisk) Timeline() *powersim.Timeline { return m.disk.Timeline() }
+
+// Disk exposes the wrapped disk (stats inspection).
+func (m *ManagedDisk) Disk() SpinDowner { return m.disk }
+
+// MAIDParams configure a MAID device.
+type MAIDParams struct {
+	// CacheDisks and DataDisks are the member counts.
+	CacheDisks, DataDisks int
+	// Drive parameterises every member.
+	Drive disksim.HDDParams
+	// ChunkBytes is the cache-directory granularity.
+	ChunkBytes int64
+	// CacheChunks bounds the cache capacity in chunks (LRU beyond it).
+	CacheChunks int
+	// DataTimeout is the TPM timeout applied to data disks.
+	DataTimeout simtime.Duration
+}
+
+// DefaultMAIDParams returns a small MAID: one always-on cache disk
+// fronting data disks that spin down after five seconds idle.
+func DefaultMAIDParams() MAIDParams {
+	return MAIDParams{
+		CacheDisks:  1,
+		DataDisks:   5,
+		Drive:       disksim.Seagate7200(),
+		ChunkBytes:  64 << 10,
+		CacheChunks: 4096,
+		DataTimeout: 5 * simtime.Second,
+	}
+}
+
+// MAIDStats count cache behaviour.
+type MAIDStats struct {
+	ReadHits, ReadMisses int64
+	Writes               int64
+	Destages             int64
+}
+
+// chunkState is a cache directory entry.
+type chunkState struct {
+	chunk int64
+	dirty bool
+	// LRU links.
+	prev, next *chunkState
+}
+
+// MAID is the massive-array-of-idle-disks device.
+type MAID struct {
+	engine *simtime.Engine
+	params MAIDParams
+
+	cache []*disksim.HDD
+	data  []*ManagedDisk
+
+	dir     map[int64]*chunkState
+	lruHead *chunkState // most recent
+	lruTail *chunkState // least recent
+
+	stats MAIDStats
+}
+
+// NewMAID assembles the device.
+func NewMAID(engine *simtime.Engine, params MAIDParams) (*MAID, error) {
+	if params.CacheDisks <= 0 || params.DataDisks <= 0 {
+		return nil, fmt.Errorf("conserve: MAID needs cache and data disks, got %d/%d", params.CacheDisks, params.DataDisks)
+	}
+	if params.ChunkBytes <= 0 {
+		params.ChunkBytes = 64 << 10
+	}
+	if params.CacheChunks <= 0 {
+		params.CacheChunks = 4096
+	}
+	if params.DataTimeout <= 0 {
+		params.DataTimeout = 5 * simtime.Second
+	}
+	m := &MAID{engine: engine, params: params, dir: make(map[int64]*chunkState)}
+	for i := 0; i < params.CacheDisks; i++ {
+		p := params.Drive
+		p.Seed += uint64(i) * 7919
+		p.Name = fmt.Sprintf("maid-cache-%d", i)
+		m.cache = append(m.cache, disksim.NewHDD(engine, p))
+	}
+	for i := 0; i < params.DataDisks; i++ {
+		p := params.Drive
+		p.Seed += uint64(params.CacheDisks+i) * 7919
+		p.Name = fmt.Sprintf("maid-data-%d", i)
+		m.data = append(m.data, NewManagedDisk(engine, disksim.NewHDD(engine, p), params.DataTimeout))
+	}
+	return m, nil
+}
+
+// Capacity implements storage.Device: the concatenated data disks.
+func (m *MAID) Capacity() int64 {
+	return int64(len(m.data)) * m.params.Drive.CapacityBytes
+}
+
+// Stats returns cache counters.
+func (m *MAID) Stats() MAIDStats { return m.stats }
+
+// DataDisks exposes the managed data disks (stats inspection).
+func (m *MAID) DataDisks() []*ManagedDisk { return m.data }
+
+// PowerSource aggregates all member timelines (no chassis model here;
+// compose with raid.ChassisParams externally when comparing arrays).
+func (m *MAID) PowerSource() powersim.Source {
+	var sum powersim.Sum
+	for _, c := range m.cache {
+		sum = append(sum, c.Timeline())
+	}
+	for _, d := range m.data {
+		sum = append(sum, d.Timeline())
+	}
+	return sum
+}
+
+// dataDiskFor maps a chunk to its data disk and on-disk offset.
+// Chunks stripe round-robin across the data disks, matching JBOD's
+// layout so technique comparisons hold placement constant.
+func (m *MAID) dataDiskFor(chunk int64) (idx int, offset int64) {
+	n := int64(len(m.data))
+	return int(chunk % n), (chunk / n) * m.params.ChunkBytes
+}
+
+// cacheDiskFor spreads chunks across cache disks.
+func (m *MAID) cacheDiskFor(chunk int64) (idx int, offset int64) {
+	per := m.params.Drive.CapacityBytes / m.params.ChunkBytes
+	return int(chunk % int64(len(m.cache))), (chunk % per) * m.params.ChunkBytes
+}
+
+// touch moves (or inserts) a directory entry to the LRU head and
+// returns it, evicting the tail beyond capacity.  Evicting a dirty
+// chunk destages it to the data disk.
+func (m *MAID) touch(chunk int64) *chunkState {
+	cs, ok := m.dir[chunk]
+	if ok {
+		m.unlink(cs)
+	} else {
+		cs = &chunkState{chunk: chunk}
+		m.dir[chunk] = cs
+	}
+	// push front
+	cs.prev = nil
+	cs.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = cs
+	}
+	m.lruHead = cs
+	if m.lruTail == nil {
+		m.lruTail = cs
+	}
+	if len(m.dir) > m.params.CacheChunks {
+		tail := m.lruTail
+		m.unlink(tail)
+		delete(m.dir, tail.chunk)
+		if tail.dirty {
+			m.destage(tail.chunk)
+		}
+	}
+	return cs
+}
+
+func (m *MAID) unlink(cs *chunkState) {
+	if cs.prev != nil {
+		cs.prev.next = cs.next
+	} else if m.lruHead == cs {
+		m.lruHead = cs.next
+	}
+	if cs.next != nil {
+		cs.next.prev = cs.prev
+	} else if m.lruTail == cs {
+		m.lruTail = cs.prev
+	}
+	cs.prev, cs.next = nil, nil
+}
+
+// destage writes an evicted dirty chunk back to its data disk.
+func (m *MAID) destage(chunk int64) {
+	m.stats.Destages++
+	disk, off := m.dataDiskFor(chunk)
+	m.data[disk].Submit(storage.Request{Op: storage.Write, Offset: off, Size: m.params.ChunkBytes}, func(simtime.Time) {})
+}
+
+// Submit implements storage.Device.  Requests are split on chunk
+// boundaries; the request completes when its slowest fragment does.
+func (m *MAID) Submit(req storage.Request, done func(simtime.Time)) {
+	if err := req.Validate(0); err != nil {
+		panic(fmt.Sprintf("conserve: invalid request: %v", err))
+	}
+	type frag struct {
+		chunk int64
+		off   int64 // offset within chunk
+		size  int64
+	}
+	var frags []frag
+	off, remaining := req.Offset%m.Capacity(), req.Size
+	for remaining > 0 {
+		chunk := off / m.params.ChunkBytes
+		within := off % m.params.ChunkBytes
+		take := m.params.ChunkBytes - within
+		if take > remaining {
+			take = remaining
+		}
+		frags = append(frags, frag{chunk: chunk, off: within, size: take})
+		off += take
+		remaining -= take
+	}
+	outstanding := len(frags)
+	var latest simtime.Time
+	complete := func(t simtime.Time) {
+		if t > latest {
+			latest = t
+		}
+		outstanding--
+		if outstanding == 0 {
+			done(latest)
+		}
+	}
+	for _, f := range frags {
+		switch req.Op {
+		case storage.Write:
+			// Absorb in cache; destage on eviction.
+			m.stats.Writes++
+			cs := m.touch(f.chunk)
+			cs.dirty = true
+			disk, base := m.cacheDiskFor(f.chunk)
+			m.cache[disk].Submit(storage.Request{Op: storage.Write, Offset: base + f.off, Size: f.size}, complete)
+		case storage.Read:
+			if _, ok := m.dir[f.chunk]; ok {
+				m.stats.ReadHits++
+				m.touch(f.chunk)
+				disk, base := m.cacheDiskFor(f.chunk)
+				m.cache[disk].Submit(storage.Request{Op: storage.Read, Offset: base + f.off, Size: f.size}, complete)
+				continue
+			}
+			// Miss: read from the data disk (waking it if needed) and
+			// populate the cache copy in the background.
+			m.stats.ReadMisses++
+			dDisk, dOff := m.dataDiskFor(f.chunk)
+			chunk := f.chunk
+			m.data[dDisk].Submit(storage.Request{Op: storage.Read, Offset: dOff + f.off, Size: f.size}, func(t simtime.Time) {
+				cs := m.touch(chunk)
+				cs.dirty = false
+				cDisk, cBase := m.cacheDiskFor(chunk)
+				m.cache[cDisk].Submit(storage.Request{Op: storage.Write, Offset: cBase, Size: m.params.ChunkBytes}, func(simtime.Time) {})
+				complete(t)
+			})
+		}
+	}
+}
+
+var (
+	_ storage.Device = (*MAID)(nil)
+	_ storage.Device = (*ManagedDisk)(nil)
+)

@@ -1,0 +1,102 @@
+package conserve
+
+import (
+	"repro/internal/disksim"
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// DRPMDisk implements dynamic-RPM power management (DRPM, Gurumurthi
+// et al., paper Table I): instead of stopping the spindle, the policy
+// steps the rotation speed down through discrete levels as the disk
+// idles and back up when load returns.  Requests are always served —
+// just slower at low RPM — so DRPM avoids TPM's multi-second spin-up
+// penalty at the cost of smaller savings per idle second.
+type DRPMDisk struct {
+	engine *simtime.Engine
+	disk   *disksim.HDD
+	// levels are the speed fractions, fastest first (e.g. 1.0, 0.8,
+	// 0.65, 0.5).
+	levels []float64
+	// stepDown is the idle time before dropping one level.
+	stepDown simtime.Duration
+
+	level        int
+	lastActivity simtime.Time
+	outstanding  int
+}
+
+// DefaultDRPMLevels are four speed steps down to half speed.
+func DefaultDRPMLevels() []float64 { return []float64{1.0, 0.8, 0.65, 0.5} }
+
+// NewDRPMDisk wraps disk with a DRPM policy.
+func NewDRPMDisk(engine *simtime.Engine, disk *disksim.HDD, levels []float64, stepDown simtime.Duration) *DRPMDisk {
+	if len(levels) == 0 {
+		levels = DefaultDRPMLevels()
+	}
+	if stepDown <= 0 {
+		stepDown = 2 * simtime.Second
+	}
+	d := &DRPMDisk{engine: engine, disk: disk, levels: levels, stepDown: stepDown}
+	d.armTimer()
+	return d
+}
+
+// Level reports the current policy level index (0 = full speed).
+func (d *DRPMDisk) Level() int { return d.level }
+
+// Disk exposes the wrapped drive.
+func (d *DRPMDisk) Disk() *disksim.HDD { return d.disk }
+
+func (d *DRPMDisk) armTimer() {
+	deadline := d.engine.Now().Add(d.stepDown)
+	d.engine.Schedule(deadline, func() { d.check(deadline) })
+}
+
+// check steps the speed down one level after a full idle window.
+func (d *DRPMDisk) check(deadline simtime.Time) {
+	if d.outstanding > 0 {
+		return // completion re-arms
+	}
+	if deadline.Sub(d.lastActivity) >= d.stepDown {
+		if d.level+1 < len(d.levels) && d.disk.SetRPMFraction(d.levels[d.level+1]) {
+			d.level++
+		}
+		if d.level+1 < len(d.levels) {
+			d.armTimer()
+		}
+		return
+	}
+	next := d.lastActivity.Add(d.stepDown)
+	d.engine.Schedule(next, func() { d.check(next) })
+}
+
+// Submit implements storage.Device.  Arrival at reduced speed requests
+// a step back to full speed; the disk shifts as soon as it drains, and
+// meanwhile the request is served at the current speed.
+func (d *DRPMDisk) Submit(req storage.Request, done func(simtime.Time)) {
+	d.lastActivity = d.engine.Now()
+	d.outstanding++
+	d.disk.Submit(req, func(finish simtime.Time) {
+		d.outstanding--
+		d.lastActivity = finish
+		if d.outstanding == 0 {
+			// Load present: restore full speed for the next burst.
+			if d.level != 0 && d.disk.SetRPMFraction(d.levels[0]) {
+				d.level = 0
+			}
+			next := finish.Add(d.stepDown)
+			d.engine.Schedule(next, func() { d.check(next) })
+		}
+		done(finish)
+	})
+}
+
+// Capacity implements storage.Device.
+func (d *DRPMDisk) Capacity() int64 { return d.disk.Capacity() }
+
+// Timeline exposes the drive's power timeline.
+func (d *DRPMDisk) Timeline() *powersim.Timeline { return d.disk.Timeline() }
+
+var _ Member = (*DRPMDisk)(nil)

@@ -1,0 +1,171 @@
+package conserve
+
+import (
+	"fmt"
+
+	"repro/internal/disksim"
+	"repro/internal/powersim"
+	"repro/internal/raid"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// ERAIDArray implements eRAID-style redundancy-based power saving (Li
+// & Wang 2004, paper Table I): at low load one RAID-5 member is spun
+// down and its reads are served by XOR reconstruction from the
+// survivors; when load rises past a threshold the member is woken and
+// restored.  Unlike MAID no extra cache hardware is needed — the
+// array's own redundancy absorbs the sleeping disk.
+type ERAIDArray struct {
+	engine *simtime.Engine
+	array  *raid.Array
+	hdds   []*disksim.HDD
+
+	// lowIOPS and highIOPS bound the hysteresis band, evaluated over
+	// window-sized intervals.
+	lowIOPS, highIOPS float64
+	window            simtime.Duration
+
+	offline     int // member currently resting, or -1
+	windowIOs   int64
+	outstanding int
+	armed       bool // whether a tick is scheduled
+
+	stats ERAIDStats
+}
+
+// ERAIDStats count policy transitions.
+type ERAIDStats struct {
+	// Offlines and Restores count member rest/wake cycles.
+	Offlines, Restores int64
+}
+
+// ERAIDParams configure the policy.
+type ERAIDParams struct {
+	// Disks is the member count (>= 3).
+	Disks int
+	// Drive parameterises the members.
+	Drive disksim.HDDParams
+	// RAID carries the controller configuration (level forced to RAID5).
+	RAID raid.Params
+	// LowIOPS and HighIOPS are the spin-down / wake thresholds.
+	LowIOPS, HighIOPS float64
+	// Window is the load-evaluation interval.
+	Window simtime.Duration
+}
+
+// DefaultERAIDParams returns the 6-member configuration used by the
+// energy studies.
+func DefaultERAIDParams() ERAIDParams {
+	return ERAIDParams{
+		Disks:    6,
+		Drive:    disksim.Seagate7200(),
+		RAID:     raid.DefaultParams(),
+		LowIOPS:  20,
+		HighIOPS: 60,
+		Window:   2 * simtime.Second,
+	}
+}
+
+// NewERAIDArray assembles the array and starts the policy ticker.
+func NewERAIDArray(engine *simtime.Engine, p ERAIDParams) (*ERAIDArray, error) {
+	if p.Disks < 3 {
+		return nil, fmt.Errorf("conserve: eRAID needs >= 3 members, got %d", p.Disks)
+	}
+	if p.Window <= 0 {
+		p.Window = 2 * simtime.Second
+	}
+	if p.HighIOPS <= p.LowIOPS {
+		return nil, fmt.Errorf("conserve: eRAID thresholds inverted: low %v >= high %v", p.LowIOPS, p.HighIOPS)
+	}
+	p.RAID.Level = raid.RAID5
+	hdds := make([]*disksim.HDD, p.Disks)
+	members := make([]raid.Disk, p.Disks)
+	for i := range hdds {
+		dp := p.Drive
+		dp.Seed += uint64(i) * 15485863
+		dp.Name = fmt.Sprintf("eraid-%d", i)
+		hdds[i] = disksim.NewHDD(engine, dp)
+		members[i] = hdds[i]
+	}
+	array, err := raid.New(engine, p.RAID, members)
+	if err != nil {
+		return nil, err
+	}
+	e := &ERAIDArray{
+		engine:   engine,
+		array:    array,
+		hdds:     hdds,
+		lowIOPS:  p.LowIOPS,
+		highIOPS: p.HighIOPS,
+		window:   p.Window,
+		offline:  -1,
+	}
+	e.armed = true
+	e.tick()
+	return e, nil
+}
+
+// tick evaluates the load once per window and adjusts the offline set.
+func (e *ERAIDArray) tick() {
+	iops := float64(e.windowIOs) / e.window.Seconds()
+	e.windowIOs = 0
+	switch {
+	case e.offline < 0 && iops < e.lowIOPS && e.outstanding == 0:
+		// Rest the last member: the rotating parity layout spreads its
+		// load across the survivors evenly regardless of which we pick.
+		victim := len(e.hdds) - 1
+		if err := e.array.FailDisk(victim); err == nil {
+			if e.hdds[victim].Standby() {
+				e.offline = victim
+				e.stats.Offlines++
+			} else {
+				e.array.RestoreDisk()
+			}
+		}
+	case e.offline >= 0 && iops > e.highIOPS:
+		e.hdds[e.offline].Wake()
+		e.array.RestoreDisk()
+		e.offline = -1
+		e.stats.Restores++
+	}
+	// Once a member rests and the array is quiet there is nothing left
+	// to decide: stop ticking so the simulation can drain.  The next
+	// Submit re-arms the evaluator.
+	if e.offline >= 0 && iops == 0 && e.outstanding == 0 {
+		e.armed = false
+		return
+	}
+	e.engine.After(simtime.Duration(e.window), func() { e.tick() })
+}
+
+// Submit implements storage.Device.
+func (e *ERAIDArray) Submit(req storage.Request, done func(simtime.Time)) {
+	e.windowIOs++
+	e.outstanding++
+	if !e.armed {
+		e.armed = true
+		e.engine.After(simtime.Duration(e.window), func() { e.tick() })
+	}
+	e.array.Submit(req, func(t simtime.Time) {
+		e.outstanding--
+		done(t)
+	})
+}
+
+// Capacity implements storage.Device.
+func (e *ERAIDArray) Capacity() int64 { return e.array.Capacity() }
+
+// PowerSource exposes the array's wall power.
+func (e *ERAIDArray) PowerSource() powersim.Source { return e.array.PowerSource() }
+
+// Array exposes the wrapped controller (stats inspection).
+func (e *ERAIDArray) Array() *raid.Array { return e.array }
+
+// Offline reports the resting member, or -1.
+func (e *ERAIDArray) Offline() int { return e.offline }
+
+// Stats returns policy counters.
+func (e *ERAIDArray) Stats() ERAIDStats { return e.stats }
+
+var _ storage.Device = (*ERAIDArray)(nil)

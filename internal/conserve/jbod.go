@@ -1,0 +1,104 @@
+package conserve
+
+import (
+	"fmt"
+
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// JBOD concatenates member disks with the same chunk layout MAID uses
+// for its data disks, so the three configurations an energy study
+// compares — always-on JBOD, TPM-managed JBOD, MAID — place blocks
+// identically and differ only in their power policy.
+type JBOD struct {
+	disks      []storage.Device
+	timelines  []*powersim.Timeline
+	chunkBytes int64
+	perDisk    int64
+}
+
+// Member is the JBOD member contract: service plus a power timeline.
+// *disksim.HDD, *disksim.SSD and *ManagedDisk all satisfy it.
+type Member interface {
+	storage.Device
+	Timeline() *powersim.Timeline
+}
+
+// NewJBOD concatenates the given disks at the given chunk granularity.
+func NewJBOD(disks []Member, chunkBytes int64) (*JBOD, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("conserve: JBOD needs at least one disk")
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 64 << 10
+	}
+	j := &JBOD{chunkBytes: chunkBytes, perDisk: disks[0].Capacity() / chunkBytes}
+	for _, d := range disks {
+		j.disks = append(j.disks, d)
+		j.timelines = append(j.timelines, d.Timeline())
+	}
+	return j, nil
+}
+
+// Capacity implements storage.Device.
+func (j *JBOD) Capacity() int64 {
+	return int64(len(j.disks)) * j.perDisk * j.chunkBytes
+}
+
+// PowerSource aggregates member power.
+func (j *JBOD) PowerSource() powersim.Source {
+	var sum powersim.Sum
+	for _, tl := range j.timelines {
+		sum = append(sum, tl)
+	}
+	return sum
+}
+
+// Submit implements storage.Device, splitting on chunk boundaries and
+// completing with the slowest fragment.
+func (j *JBOD) Submit(req storage.Request, done func(simtime.Time)) {
+	if err := req.Validate(0); err != nil {
+		panic(fmt.Sprintf("conserve: invalid request: %v", err))
+	}
+	off, remaining := req.Offset%j.Capacity(), req.Size
+	type frag struct {
+		disk   int
+		offset int64
+		size   int64
+	}
+	var frags []frag
+	for remaining > 0 {
+		chunk := off / j.chunkBytes
+		within := off % j.chunkBytes
+		take := j.chunkBytes - within
+		if take > remaining {
+			take = remaining
+		}
+		// Round-robin chunk striping, matching MAID's data layout.
+		n := int64(len(j.disks))
+		frags = append(frags, frag{
+			disk:   int(chunk % n),
+			offset: (chunk/n)*j.chunkBytes + within,
+			size:   take,
+		})
+		off += take
+		remaining -= take
+	}
+	outstanding := len(frags)
+	var latest simtime.Time
+	for _, f := range frags {
+		j.disks[f.disk].Submit(storage.Request{Op: req.Op, Offset: f.offset, Size: f.size}, func(t simtime.Time) {
+			if t > latest {
+				latest = t
+			}
+			outstanding--
+			if outstanding == 0 {
+				done(latest)
+			}
+		})
+	}
+}
+
+var _ storage.Device = (*JBOD)(nil)

@@ -1,0 +1,269 @@
+package conserve
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disksim"
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// PDC implements Popular Data Concentration (Pinheiro & Bianchini,
+// paper Table I): instead of caching hot data on dedicated disks the
+// way MAID does, PDC *migrates* data across the existing disks so that
+// popularity decreases with disk number — the first disks absorb the
+// hot set and stay busy while the last disks hold cold data and spin
+// down under a timeout policy.
+//
+// The model tracks per-chunk access counts (with exponential decay),
+// periodically recomputes the popularity ranking, and migrates chunks
+// whose placement changed, paying real read+write I/O on the member
+// disks for every moved chunk.
+type PDC struct {
+	engine *simtime.Engine
+	params PDCParams
+
+	disks []*ManagedDisk
+	hdds  []*disksim.HDD
+
+	// placement maps chunk -> member disk; chunks absent from the map
+	// sit at their home (round-robin) position.
+	placement map[int64]int
+	counts    map[int64]float64
+	perDisk   int64 // chunk slots per disk
+
+	outstanding int
+	armed       bool
+	windowIOs   int64
+
+	stats PDCStats
+}
+
+// PDCParams configure the device.
+type PDCParams struct {
+	// Disks is the member count.
+	Disks int
+	// Drive parameterises every member.
+	Drive disksim.HDDParams
+	// ChunkBytes is the migration granularity.
+	ChunkBytes int64
+	// ReorgInterval is how often popularity is re-evaluated.
+	ReorgInterval simtime.Duration
+	// MaxMigrations bounds the chunks moved per reorganisation.
+	MaxMigrations int
+	// SpinDownTimeout is the TPM timeout applied to every member.
+	SpinDownTimeout simtime.Duration
+	// Decay multiplies access counts at each reorg, aging history.
+	Decay float64
+}
+
+// DefaultPDCParams returns a 6-member configuration.
+func DefaultPDCParams() PDCParams {
+	return PDCParams{
+		Disks:           6,
+		Drive:           disksim.Seagate7200(),
+		ChunkBytes:      64 << 10,
+		ReorgInterval:   10 * simtime.Second,
+		MaxMigrations:   256,
+		SpinDownTimeout: 5 * simtime.Second,
+		Decay:           0.5,
+	}
+}
+
+// PDCStats count policy work.
+type PDCStats struct {
+	// Reorgs and Migrations count ranking passes and chunk moves.
+	Reorgs, Migrations int64
+}
+
+// NewPDC assembles the device.
+func NewPDC(engine *simtime.Engine, p PDCParams) (*PDC, error) {
+	if p.Disks < 2 {
+		return nil, fmt.Errorf("conserve: PDC needs >= 2 disks, got %d", p.Disks)
+	}
+	if p.ChunkBytes <= 0 {
+		p.ChunkBytes = 64 << 10
+	}
+	if p.ReorgInterval <= 0 {
+		p.ReorgInterval = 10 * simtime.Second
+	}
+	if p.MaxMigrations <= 0 {
+		p.MaxMigrations = 256
+	}
+	if p.SpinDownTimeout <= 0 {
+		p.SpinDownTimeout = 5 * simtime.Second
+	}
+	if p.Decay <= 0 || p.Decay >= 1 {
+		p.Decay = 0.5
+	}
+	d := &PDC{
+		engine:    engine,
+		params:    p,
+		placement: map[int64]int{},
+		counts:    map[int64]float64{},
+		perDisk:   p.Drive.CapacityBytes / p.ChunkBytes,
+	}
+	for i := 0; i < p.Disks; i++ {
+		dp := p.Drive
+		dp.Seed += uint64(i) * 32452843
+		dp.Name = fmt.Sprintf("pdc-%d", i)
+		hdd := disksim.NewHDD(engine, dp)
+		d.hdds = append(d.hdds, hdd)
+		d.disks = append(d.disks, NewManagedDisk(engine, hdd, p.SpinDownTimeout))
+	}
+	return d, nil
+}
+
+// Capacity implements storage.Device.
+func (d *PDC) Capacity() int64 {
+	return int64(len(d.disks)) * d.perDisk * d.params.ChunkBytes
+}
+
+// Stats returns policy counters.
+func (d *PDC) Stats() PDCStats { return d.stats }
+
+// Disks exposes the managed members.
+func (d *PDC) Disks() []*ManagedDisk { return d.disks }
+
+// PowerSource aggregates member power.
+func (d *PDC) PowerSource() powersim.Source {
+	var sum powersim.Sum
+	for _, m := range d.disks {
+		sum = append(sum, m.Timeline())
+	}
+	return sum
+}
+
+// homeDisk is the unmigrated round-robin placement.
+func (d *PDC) homeDisk(chunk int64) int { return int(chunk % int64(len(d.disks))) }
+
+// diskOf resolves the current placement of a chunk.
+func (d *PDC) diskOf(chunk int64) int {
+	if disk, ok := d.placement[chunk]; ok {
+		return disk
+	}
+	return d.homeDisk(chunk)
+}
+
+// offsetOn maps a chunk to its byte offset on whichever disk holds it.
+// Offsets use the chunk's home slot, which stays free when the chunk
+// migrates — the model tracks placement, not block-accurate allocation.
+func (d *PDC) offsetOn(chunk int64) int64 {
+	return (chunk / int64(len(d.disks)) % d.perDisk) * d.params.ChunkBytes
+}
+
+// Submit implements storage.Device.
+func (d *PDC) Submit(req storage.Request, done func(simtime.Time)) {
+	if err := req.Validate(0); err != nil {
+		panic(fmt.Sprintf("conserve: invalid request: %v", err))
+	}
+	if !d.armed {
+		d.armed = true
+		d.engine.After(simtime.Duration(d.params.ReorgInterval), func() { d.reorg() })
+	}
+	d.windowIOs++
+	d.outstanding++
+	off, remaining := req.Offset%d.Capacity(), req.Size
+	type frag struct {
+		disk   int
+		offset int64
+		size   int64
+	}
+	var frags []frag
+	for remaining > 0 {
+		chunk := off / d.params.ChunkBytes
+		within := off % d.params.ChunkBytes
+		take := d.params.ChunkBytes - within
+		if take > remaining {
+			take = remaining
+		}
+		d.counts[chunk]++
+		frags = append(frags, frag{disk: d.diskOf(chunk), offset: d.offsetOn(chunk) + within, size: take})
+		off += take
+		remaining -= take
+	}
+	outstanding := len(frags)
+	var latest simtime.Time
+	for _, f := range frags {
+		d.disks[f.disk].Submit(storage.Request{Op: req.Op, Offset: f.offset, Size: f.size}, func(t simtime.Time) {
+			if t > latest {
+				latest = t
+			}
+			outstanding--
+			if outstanding == 0 {
+				d.outstanding--
+				done(latest)
+			}
+		})
+	}
+}
+
+// reorg recomputes the popularity ranking and migrates chunks whose
+// placement changed, hottest chunks first onto the lowest-numbered
+// disks.
+func (d *PDC) reorg() {
+	d.stats.Reorgs++
+	type ranked struct {
+		chunk int64
+		count float64
+	}
+	chunks := make([]ranked, 0, len(d.counts))
+	for c, n := range d.counts {
+		chunks = append(chunks, ranked{chunk: c, count: n})
+	}
+	sort.Slice(chunks, func(i, j int) bool {
+		if chunks[i].count != chunks[j].count {
+			return chunks[i].count > chunks[j].count
+		}
+		return chunks[i].chunk < chunks[j].chunk
+	})
+	// Concentrate: hottest chunks fill disk 0, then disk 1, ...
+	migrated := 0
+	for i, r := range chunks {
+		target := i / int(d.perDisk)
+		if target >= len(d.disks) {
+			break
+		}
+		if cur := d.diskOf(r.chunk); cur != target && migrated < d.params.MaxMigrations {
+			d.migrate(r.chunk, cur, target)
+			migrated++
+		}
+	}
+	// Age history so the ranking tracks shifting popularity.
+	for c := range d.counts {
+		d.counts[c] *= d.params.Decay
+		if d.counts[c] < 0.01 {
+			delete(d.counts, c)
+		}
+	}
+	// Keep reorganising while load is present; go quiet with the
+	// workload (the next Submit re-arms).
+	if d.windowIOs == 0 && d.outstanding == 0 {
+		d.armed = false
+		return
+	}
+	d.windowIOs = 0
+	d.engine.After(simtime.Duration(d.params.ReorgInterval), func() { d.reorg() })
+}
+
+// migrate moves one chunk: read from the source member, write to the
+// destination, and flip the placement immediately (requests during the
+// copy are served from the destination — the model carries no payload,
+// so ordering hazards are out of scope).
+func (d *PDC) migrate(chunk int64, from, to int) {
+	d.stats.Migrations++
+	if to == d.homeDisk(chunk) {
+		delete(d.placement, chunk)
+	} else {
+		d.placement[chunk] = to
+	}
+	off := d.offsetOn(chunk)
+	size := d.params.ChunkBytes
+	d.disks[from].Submit(storage.Request{Op: storage.Read, Offset: off, Size: size}, func(simtime.Time) {
+		d.disks[to].Submit(storage.Request{Op: storage.Write, Offset: off, Size: size}, func(simtime.Time) {})
+	})
+}
+
+var _ storage.Device = (*PDC)(nil)

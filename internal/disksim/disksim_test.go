@@ -1,0 +1,396 @@
+package disksim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// run submits requests back-to-back (closed loop, queue depth 1) and
+// returns the completion time of the last one.
+func runSerial(e *simtime.Engine, dev storage.Device, reqs []storage.Request) simtime.Time {
+	var last simtime.Time
+	for _, r := range reqs {
+		dev.Submit(r, func(t simtime.Time) { last = t })
+		e.Run()
+	}
+	return last
+}
+
+func seqReads(n int, size int64) []storage.Request {
+	reqs := make([]storage.Request, n)
+	for i := range reqs {
+		reqs[i] = storage.Request{Op: storage.Read, Offset: int64(i) * size, Size: size}
+	}
+	return reqs
+}
+
+func randReads(rng *rand.Rand, n int, size, capacity int64) []storage.Request {
+	reqs := make([]storage.Request, n)
+	for i := range reqs {
+		off := rng.Int64N(capacity/size-1) * size
+		reqs[i] = storage.Request{Op: storage.Read, Offset: off, Size: size}
+	}
+	return reqs
+}
+
+func TestHDDSequentialFasterThanRandom(t *testing.T) {
+	const n, size = 200, 64 * 1024
+	e1 := simtime.NewEngine()
+	h1 := NewHDD(e1, Seagate7200())
+	seqEnd := runSerial(e1, h1, seqReads(n, size))
+
+	e2 := simtime.NewEngine()
+	h2 := NewHDD(e2, Seagate7200())
+	rng := rand.New(rand.NewPCG(3, 3))
+	randEnd := runSerial(e2, h2, randReads(rng, n, size, h2.Capacity()))
+
+	if randEnd < 3*seqEnd {
+		t.Fatalf("random (%v) should be much slower than sequential (%v)", randEnd, seqEnd)
+	}
+	if h1.Stats().Seeks > 1 {
+		t.Fatalf("sequential run recorded %d seeks, want <=1", h1.Stats().Seeks)
+	}
+	if h2.Stats().Seeks < n/2 {
+		t.Fatalf("random run recorded only %d seeks", h2.Stats().Seeks)
+	}
+}
+
+func TestHDDSequentialThroughputNearMediaRate(t *testing.T) {
+	// Large sequential reads at the outer zone should approach OuterMBps.
+	e := simtime.NewEngine()
+	p := Seagate7200()
+	h := NewHDD(e, p)
+	const n, size = 100, 1 << 20
+	end := runSerial(e, h, seqReads(n, size))
+	mbps := float64(n*size) / 1e6 / end.Seconds()
+	if mbps < p.OuterMBps*0.7 || mbps > p.OuterMBps {
+		t.Fatalf("sequential throughput %.1f MB/s, want near %.0f", mbps, p.OuterMBps)
+	}
+}
+
+func TestHDDZonedTransfer(t *testing.T) {
+	e := simtime.NewEngine()
+	p := Seagate7200()
+	h := NewHDD(e, p)
+	outer := h.transferTime(0, 1<<20)
+	inner := h.transferTime(p.CapacityBytes-(1<<20), 1<<20)
+	if inner <= outer {
+		t.Fatalf("inner-zone transfer (%v) should be slower than outer (%v)", inner, outer)
+	}
+}
+
+func TestHDDSeekTimeMonotone(t *testing.T) {
+	e := simtime.NewEngine()
+	p := Seagate7200()
+	h := NewHDD(e, p)
+	if h.seekTime(0) != 0 {
+		t.Fatal("zero-distance seek should cost nothing")
+	}
+	prev := simtime.Duration(0)
+	for _, d := range []int64{1, 10, 100, 1000, 10000, p.Cylinders} {
+		st := h.seekTime(d)
+		if st < prev {
+			t.Fatalf("seek time not monotone at distance %d", d)
+		}
+		prev = st
+	}
+	if full := h.seekTime(p.Cylinders); full != p.FullStrokeSeek {
+		t.Fatalf("full-stroke seek = %v, want %v", full, p.FullStrokeSeek)
+	}
+	if t2t := h.seekTime(1); t2t < p.TrackToTrackSeek {
+		t.Fatalf("shortest seek %v below track-to-track %v", t2t, p.TrackToTrackSeek)
+	}
+}
+
+func TestHDDIdlePower(t *testing.T) {
+	e := simtime.NewEngine()
+	p := Seagate7200()
+	h := NewHDD(e, p)
+	e.RunUntil(simtime.Time(10 * simtime.Second))
+	got := h.Timeline().MeanWatts(0, e.Now())
+	if got != p.IdleW {
+		t.Fatalf("idle power = %v, want %v", got, p.IdleW)
+	}
+}
+
+func TestHDDBusyPowerAboveIdle(t *testing.T) {
+	e := simtime.NewEngine()
+	p := Seagate7200()
+	h := NewHDD(e, p)
+	rng := rand.New(rand.NewPCG(5, 5))
+	end := runSerial(e, h, randReads(rng, 500, 4096, h.Capacity()))
+	mean := h.Timeline().MeanWatts(0, end)
+	if mean <= p.IdleW {
+		t.Fatalf("busy mean power %v not above idle %v", mean, p.IdleW)
+	}
+	if mean > p.SeekW {
+		t.Fatalf("mean power %v exceeds max state %v", mean, p.SeekW)
+	}
+	// Back-to-back random 4K requests are seek-dominated: mean power
+	// should be much closer to seek power than to idle.
+	if mean < (p.IdleW+p.SeekW)/2 {
+		t.Fatalf("seek-dominated mean power %v suspiciously low", mean)
+	}
+}
+
+func TestHDDReturnsToIdle(t *testing.T) {
+	e := simtime.NewEngine()
+	p := Seagate7200()
+	h := NewHDD(e, p)
+	end := runSerial(e, h, seqReads(10, 4096))
+	// After completion the drive must be idle again.
+	if got := h.Timeline().At(end.Add(simtime.Second)); got != p.IdleW {
+		t.Fatalf("power after completion = %v, want idle %v", got, p.IdleW)
+	}
+}
+
+func TestHDDFIFOAndConcurrentQueueing(t *testing.T) {
+	e := simtime.NewEngine()
+	h := NewHDD(e, Seagate7200())
+	var finishes []simtime.Time
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		h.Submit(storage.Request{Op: storage.Read, Offset: int64(i) * 4096, Size: 4096}, func(ft simtime.Time) {
+			finishes = append(finishes, ft)
+			order = append(order, i)
+		})
+	}
+	if h.QueueDepth() != 19 { // one started immediately
+		t.Fatalf("queue depth = %d, want 19", h.QueueDepth())
+	}
+	e.Run()
+	if len(finishes) != 20 {
+		t.Fatalf("completed %d, want 20", len(finishes))
+	}
+	for i := 1; i < len(finishes); i++ {
+		if finishes[i] < finishes[i-1] {
+			t.Fatal("completions out of time order")
+		}
+		if order[i] != order[i-1]+1 {
+			t.Fatalf("completions out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestHDDStatsAccounting(t *testing.T) {
+	e := simtime.NewEngine()
+	h := NewHDD(e, Seagate7200())
+	h.Submit(storage.Request{Op: storage.Read, Offset: 0, Size: 8192}, func(simtime.Time) {})
+	e.Run()
+	h.Submit(storage.Request{Op: storage.Write, Offset: 1 << 30, Size: 4096}, func(simtime.Time) {})
+	e.Run()
+	s := h.Stats()
+	if s.Served != 2 || s.BytesRead != 8192 || s.BytesWritten != 4096 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BusyTime <= 0 || s.TransferTime <= 0 {
+		t.Fatalf("time accounting empty: %+v", s)
+	}
+}
+
+func TestFoldOffset(t *testing.T) {
+	const capacity = 1000
+	cases := []struct{ off, size, want int64 }{
+		{0, 100, 0},
+		{900, 100, 900},
+		{950, 100, 900},  // tail clamped inside
+		{2350, 100, 350}, // wrapped modulo
+		{0, 2000, 0},     // oversized request pinned at 0
+	}
+	for _, c := range cases {
+		if got := foldOffset(c.off, c.size, capacity); got != c.want {
+			t.Errorf("foldOffset(%d,%d) = %d, want %d", c.off, c.size, got, c.want)
+		}
+	}
+}
+
+// Property: folded requests always fit in the device.
+func TestPropertyFoldInRange(t *testing.T) {
+	f := func(off int64, sz int64) bool {
+		if off < 0 {
+			off = -off
+		}
+		size := sz%(1<<20) + 1
+		if size <= 0 {
+			size = 1
+		}
+		const capacity = int64(1 << 30)
+		folded := foldOffset(off, size, capacity)
+		return folded >= 0 && (size >= capacity || folded+size <= capacity)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDDOutOfRangeRequestFolds(t *testing.T) {
+	e := simtime.NewEngine()
+	h := NewHDD(e, Seagate7200())
+	done := false
+	h.Submit(storage.Request{Op: storage.Read, Offset: h.Capacity() * 3, Size: 4096}, func(simtime.Time) { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("folded request never completed")
+	}
+}
+
+func TestHDDDeterminism(t *testing.T) {
+	run := func() simtime.Time {
+		e := simtime.NewEngine()
+		h := NewHDD(e, Seagate7200())
+		rng := rand.New(rand.NewPCG(9, 9))
+		return runSerial(e, h, randReads(rng, 100, 4096, h.Capacity()))
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+// --- SSD ---
+
+func TestSSDReadFasterThanWrite(t *testing.T) {
+	e := simtime.NewEngine()
+	s := NewSSD(e, MemorightSLC32())
+	read := s.serviceTime(storage.Request{Op: storage.Read, Offset: 0, Size: 64 * 1024})
+	s.lastEnd = -1
+	write := s.serviceTime(storage.Request{Op: storage.Write, Offset: 0, Size: 64 * 1024})
+	if read >= write {
+		t.Fatalf("read %v should beat write %v", read, write)
+	}
+}
+
+func TestSSDRandomWriteAmplification(t *testing.T) {
+	e := simtime.NewEngine()
+	p := MemorightSLC32()
+	s := NewSSD(e, p)
+	const n, size = 300, 4096
+	// sequential writes
+	reqs := make([]storage.Request, n)
+	for i := range reqs {
+		reqs[i] = storage.Request{Op: storage.Write, Offset: int64(i) * size, Size: size}
+	}
+	seqEnd := runSerial(e, s, reqs)
+	if s.Stats().GCAmplifiedWrites > 1 {
+		t.Fatalf("sequential writes amplified: %d", s.Stats().GCAmplifiedWrites)
+	}
+	e2 := simtime.NewEngine()
+	s2 := NewSSD(e2, p)
+	rng := rand.New(rand.NewPCG(7, 7))
+	randomReqs := make([]storage.Request, n)
+	for i := range randomReqs {
+		randomReqs[i] = storage.Request{Op: storage.Write, Offset: rng.Int64N(1<<30) / size * size, Size: size}
+	}
+	randEnd := runSerial(e2, s2, randomReqs)
+	if randEnd <= seqEnd {
+		t.Fatalf("random writes (%v) should be slower than sequential (%v)", randEnd, seqEnd)
+	}
+	if s2.Stats().GCAmplifiedWrites < n/2 {
+		t.Fatalf("random writes amplified only %d times", s2.Stats().GCAmplifiedWrites)
+	}
+}
+
+func TestSSDRandomReadsFarFasterThanHDD(t *testing.T) {
+	const n, size = 300, 4096
+	rng := rand.New(rand.NewPCG(11, 11))
+	reqs := randReads(rng, n, size, 16<<30)
+
+	eh := simtime.NewEngine()
+	h := NewHDD(eh, Seagate7200())
+	hddEnd := runSerial(eh, h, reqs)
+
+	es := simtime.NewEngine()
+	s := NewSSD(es, MemorightSLC32())
+	ssdEnd := runSerial(es, s, reqs)
+
+	if float64(ssdEnd)*20 > float64(hddEnd) {
+		t.Fatalf("SSD random reads (%v) should be >20x faster than HDD (%v)", ssdEnd, hddEnd)
+	}
+}
+
+func TestSSDIdlePowerMatchesPaper(t *testing.T) {
+	e := simtime.NewEngine()
+	p := MemorightSLC32()
+	if p.IdleW != 3.5 {
+		t.Fatalf("Memoright idle = %v, paper says 3.5 W", p.IdleW)
+	}
+	s := NewSSD(e, p)
+	e.RunUntil(simtime.Time(5 * simtime.Second))
+	if got := s.Timeline().MeanWatts(0, e.Now()); got != 3.5 {
+		t.Fatalf("idle power = %v", got)
+	}
+}
+
+func TestSSDPowerStates(t *testing.T) {
+	e := simtime.NewEngine()
+	p := MemorightSLC32()
+	s := NewSSD(e, p)
+	var end simtime.Time
+	s.Submit(storage.Request{Op: storage.Write, Offset: 0, Size: 1 << 20}, func(t simtime.Time) { end = t })
+	e.Run()
+	mean := s.Timeline().MeanWatts(0, end)
+	if mean <= p.IdleW || mean > p.WriteW {
+		t.Fatalf("write-busy mean power = %v, want in (%v, %v]", mean, p.IdleW, p.WriteW)
+	}
+	if got := s.Timeline().At(end.Add(simtime.Second)); got != p.IdleW {
+		t.Fatalf("power after completion = %v, want idle", got)
+	}
+}
+
+func TestSSDStatsAndCapacity(t *testing.T) {
+	e := simtime.NewEngine()
+	s := NewSSD(e, MemorightSLC32())
+	if s.Capacity() != 32*1000*1000*1000 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+	s.Submit(storage.Request{Op: storage.Read, Offset: 0, Size: 4096}, func(simtime.Time) {})
+	s.Submit(storage.Request{Op: storage.Write, Offset: 1 << 20, Size: 8192}, func(simtime.Time) {})
+	e.Run()
+	st := s.Stats()
+	if st.Served != 2 || st.BytesRead != 4096 || st.BytesWritten != 8192 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSSDChannelParallelismSpeedsLargeRequests(t *testing.T) {
+	e := simtime.NewEngine()
+	p := MemorightSLC32()
+	p.Channels = 1
+	s1 := NewSSD(e, p)
+	one := s1.serviceTime(storage.Request{Op: storage.Read, Offset: 0, Size: 1 << 20})
+	p.Channels = 4
+	s4 := NewSSD(e, p)
+	four := s4.serviceTime(storage.Request{Op: storage.Read, Offset: 0, Size: 1 << 20})
+	ratio := one.Seconds() / four.Seconds()
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4-channel speedup = %.2fx, want ~4x", ratio)
+	}
+}
+
+func BenchmarkHDDRandomRead4K(b *testing.B) {
+	e := simtime.NewEngine()
+	h := NewHDD(e, Seagate7200())
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := rng.Int64N(h.Capacity()/4096-1) * 4096
+		h.Submit(storage.Request{Op: storage.Read, Offset: off, Size: 4096}, func(simtime.Time) {})
+		e.Run()
+	}
+}
+
+func BenchmarkSSDRandomRead4K(b *testing.B) {
+	e := simtime.NewEngine()
+	s := NewSSD(e, MemorightSLC32())
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := rng.Int64N(s.Capacity()/4096-1) * 4096
+		s.Submit(storage.Request{Op: storage.Read, Offset: off, Size: 4096}, func(simtime.Time) {})
+		e.Run()
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/conserve"
+	"repro/internal/disksim"
+	"repro/internal/powersim"
+	"repro/internal/replay"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/synth"
+)
+
+// ConservationRow is one (technique, load) measurement: the columns
+// the surveyed systems in the paper's Table I report — response time,
+// energy savings, throughput.
+type ConservationRow struct {
+	Technique string
+	Load      float64
+	// EnergyJ and MeanWatts are over the replay window.
+	EnergyJ, MeanWatts float64
+	// SavingsPct is energy saved relative to the always-on baseline at
+	// the same load.
+	SavingsPct float64
+	// MeanResponseMs and MaxResponseMs expose the latency cost of
+	// spin-ups.
+	MeanResponseMs, MaxResponseMs float64
+	// IOPS confirms all techniques served the same workload.
+	IOPS float64
+}
+
+// ConservationResult is the full comparison.
+type ConservationResult struct {
+	Rows []ConservationRow
+	// CacheHitRate is MAID's read hit rate at full load.
+	CacheHitRate float64
+}
+
+// ConservationStudy applies TRACER to compare energy-conservation
+// techniques (the paper's motivating use case and Section VII's future
+// work): a sparse web-server-like workload is replayed at several load
+// proportions against an always-on JBOD, a TPM (timeout spin-down)
+// JBOD, and a MAID, all with identical block placement.
+func ConservationStudy(cfg Config) (*ConservationResult, error) {
+	cfg = cfg.normalize()
+	// A sparse archival-style workload over ten virtual minutes: real
+	// idle gaps, and a hot working set small enough that MAID's cache
+	// absorbs essentially all reads once warm.  This is the regime the
+	// surveyed techniques (Table I) target.
+	wp := synth.DefaultWebServer()
+	wp.Seed = cfg.Seed
+	wp.Duration = 10 * simtime.Minute
+	wp.MeanIOPS = 4
+	wp.FootprintBytes = 4 << 20 // hot 4 MB: fully cacheable
+	trace := synth.WebServerTrace(wp)
+
+	res := &ConservationResult{}
+	loads := []float64{0.1, 0.5, 1.0}
+	baseline := map[float64]float64{}
+	for _, technique := range []string{"always-on", "tpm", "drpm", "pdc", "maid"} {
+		for _, load := range loads {
+			engine := simtime.NewEngine()
+			dev, src, maid, err := buildConservation(engine, technique)
+			if err != nil {
+				return nil, err
+			}
+			r, err := replay.ReplayAtLoad(engine, dev, trace, load, replay.Options{})
+			if err != nil {
+				return nil, err
+			}
+			meter := powersim.DefaultMeter(src)
+			meter.Seed = cfg.Seed
+			samples := meter.Measure(r.Start, r.End)
+			row := ConservationRow{
+				Technique:      technique,
+				Load:           load,
+				EnergyJ:        powersim.EnergyJ(samples),
+				MeanWatts:      powersim.MeanWatts(samples),
+				MeanResponseMs: r.MeanResponse.Seconds() * 1000,
+				MaxResponseMs:  r.MaxResponse.Seconds() * 1000,
+				IOPS:           r.IOPS,
+			}
+			if technique == "always-on" {
+				baseline[load] = row.EnergyJ
+			} else if b := baseline[load]; b > 0 {
+				row.SavingsPct = (1 - row.EnergyJ/b) * 100
+			}
+			res.Rows = append(res.Rows, row)
+			if maid != nil && load == 1.0 {
+				st := maid.Stats()
+				if total := st.ReadHits + st.ReadMisses; total > 0 {
+					res.CacheHitRate = float64(st.ReadHits) / float64(total)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildConservation provisions the device stack for one technique.
+func buildConservation(engine *simtime.Engine, technique string) (storage.Device, powersim.Source, *conserve.MAID, error) {
+	const nDisks = 6
+	drive := disksim.Seagate7200()
+	switch technique {
+	case "always-on", "tpm", "drpm":
+		members := make([]conserve.Member, nDisks)
+		for i := range members {
+			p := drive
+			p.Seed += uint64(i) * 104729
+			hdd := disksim.NewHDD(engine, p)
+			switch technique {
+			case "tpm":
+				members[i] = conserve.NewManagedDisk(engine, hdd, 10*simtime.Second)
+			case "drpm":
+				members[i] = conserve.NewDRPMDisk(engine, hdd, nil, 2*simtime.Second)
+			default:
+				members[i] = hdd
+			}
+		}
+		jbod, err := conserve.NewJBOD(members, 64<<10)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return jbod, jbod.PowerSource(), nil, nil
+	case "pdc":
+		p := conserve.DefaultPDCParams()
+		p.Drive = drive
+		p.ReorgInterval = 5 * simtime.Second
+		p.SpinDownTimeout = 10 * simtime.Second
+		pdc, err := conserve.NewPDC(engine, p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return pdc, pdc.PowerSource(), nil, nil
+	case "maid":
+		p := conserve.DefaultMAIDParams()
+		p.Drive = drive
+		p.DataTimeout = 10 * simtime.Second
+		maid, err := conserve.NewMAID(engine, p)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return maid, maid.PowerSource(), maid, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown technique %q", technique)
+	}
+}
+
+// RenderConservationStudy prints the comparison.
+func RenderConservationStudy(w io.Writer, r *ConservationResult) {
+	fmt.Fprintln(w, "TRACER applied to energy-conservation techniques (sparse web workload)")
+	fmt.Fprintln(w, "technique\tload%\tenergy(J)\twatts\tsavings%\tmean-resp(ms)\tmax-resp(ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.1f\t%.1f\t%.2f\t%.0f\n",
+			row.Technique, row.Load*100, row.EnergyJ, row.MeanWatts,
+			row.SavingsPct, row.MeanResponseMs, row.MaxResponseMs)
+	}
+	fmt.Fprintf(w, "MAID read cache hit rate at full load: %.1f%%\n", r.CacheHitRate*100)
+}

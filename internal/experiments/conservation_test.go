@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConservationStudyShapes(t *testing.T) {
+	r, err := ConservationStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 15 {
+		t.Fatalf("rows = %d, want 5 techniques x 3 loads", len(r.Rows))
+	}
+	rows := map[string]map[float64]ConservationRow{}
+	for _, row := range r.Rows {
+		if rows[row.Technique] == nil {
+			rows[row.Technique] = map[float64]ConservationRow{}
+		}
+		rows[row.Technique][row.Load] = row
+	}
+	for _, load := range []float64{0.1, 0.5, 1.0} {
+		base := rows["always-on"][load]
+		tpm := rows["tpm"][load]
+		drpm := rows["drpm"][load]
+		pdc := rows["pdc"][load]
+		maid := rows["maid"][load]
+		// The always-on baseline defines zero savings.
+		if base.SavingsPct != 0 {
+			t.Fatalf("baseline savings = %v", base.SavingsPct)
+		}
+		// MAID's cache creates the idle windows spin-down needs: it must
+		// save substantially at every load.
+		if maid.SavingsPct < 30 {
+			t.Fatalf("load %.0f%%: MAID savings %.1f%%, want > 30%%", load*100, maid.SavingsPct)
+		}
+		// Naive TPM cannot beat MAID here: the striped layout leaves no
+		// per-disk idle window longer than the spin-down break-even.
+		if tpm.SavingsPct >= maid.SavingsPct {
+			t.Fatalf("load %.0f%%: TPM savings %.1f%% >= MAID %.1f%%", load*100, tpm.SavingsPct, maid.SavingsPct)
+		}
+		// DRPM saves real energy without spin-up-scale latency: its max
+		// response stays far below TPM's 6-second wake-ups.
+		if drpm.SavingsPct < 10 {
+			t.Fatalf("load %.0f%%: DRPM savings %.1f%%, want > 10%%", load*100, drpm.SavingsPct)
+		}
+		if drpm.MaxResponseMs >= 3000 {
+			t.Fatalf("load %.0f%%: DRPM max response %.0f ms — paying spin-up-scale penalties", load*100, drpm.MaxResponseMs)
+		}
+		// PDC concentrates the hot set and rests cold members: it must
+		// beat naive TPM decisively on this skew-friendly workload.
+		if pdc.SavingsPct < 20 {
+			t.Fatalf("load %.0f%%: PDC savings %.1f%%, want > 20%%", load*100, pdc.SavingsPct)
+		}
+		if pdc.SavingsPct <= tpm.SavingsPct {
+			t.Fatalf("load %.0f%%: PDC %.1f%% <= TPM %.1f%%", load*100, pdc.SavingsPct, tpm.SavingsPct)
+		}
+		// Spin-ups cost latency: both managed techniques pay a max
+		// response near the spin-up time; the baseline never does.
+		if base.MaxResponseMs > 1000 {
+			t.Fatalf("baseline max response %.0f ms implausible", base.MaxResponseMs)
+		}
+		if maid.MaxResponseMs < 1000 {
+			t.Fatalf("MAID max response %.0f ms shows no spin-up cost", maid.MaxResponseMs)
+		}
+	}
+	// MAID's mean response must improve with load (a warmer cache and
+	// fewer sleepy wake-ups per request).
+	if !(rows["maid"][1.0].MeanResponseMs < rows["maid"][0.1].MeanResponseMs) {
+		t.Fatal("MAID mean response should improve at higher load")
+	}
+	if r.CacheHitRate < 0.9 {
+		t.Fatalf("cache hit rate %.2f, want > 0.9 for the hot working set", r.CacheHitRate)
+	}
+	var buf bytes.Buffer
+	RenderConservationStudy(&buf, r)
+	if !strings.Contains(buf.String(), "maid") || !strings.Contains(buf.String(), "savings") {
+		t.Fatal("render incomplete")
+	}
+}

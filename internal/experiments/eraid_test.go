@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestERAIDStudyShapes(t *testing.T) {
+	r, err := ERAIDStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base, eraid := r.Rows[0], r.Rows[1]
+	if base.Config != "always-on" || eraid.Config != "eraid" {
+		t.Fatalf("row order: %+v", r.Rows)
+	}
+	// eRAID must save energy on a sparse workload.
+	if eraid.SavingsPct <= 2 {
+		t.Fatalf("eRAID savings %.1f%%, want > 2%%", eraid.SavingsPct)
+	}
+	// The policy must actually have rested a member and reconstructed.
+	if r.Offlines == 0 {
+		t.Fatal("no rest cycles")
+	}
+	if r.ReconstructReads == 0 {
+		t.Fatal("no reconstruction reads")
+	}
+	// Reconstruction costs latency: eRAID's tail must exceed baseline.
+	if eraid.P99Ms <= base.P99Ms {
+		t.Fatalf("eRAID p99 %.1f ms <= baseline %.1f ms: no visible cost", eraid.P99Ms, base.P99Ms)
+	}
+	var buf bytes.Buffer
+	RenderERAIDStudy(&buf, r)
+	if !strings.Contains(buf.String(), "eRAID") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDegradedStudyShapes(t *testing.T) {
+	r, err := DegradedStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// A failure must not change correctness (all IOs complete).
+		if row.Degraded.Result.Completed != row.Healthy.Result.Completed {
+			t.Fatalf("%s: degraded completed %d vs healthy %d",
+				row.Mode, row.Degraded.Result.Completed, row.Healthy.Result.Completed)
+		}
+		// Degraded efficiency must not beat healthy.
+		if row.Degraded.Eff.IOPSPerWatt > row.Healthy.Eff.IOPSPerWatt*1.02 {
+			t.Fatalf("%s: degraded IOPS/W %.3f above healthy %.3f",
+				row.Mode, row.Degraded.Eff.IOPSPerWatt, row.Healthy.Eff.IOPSPerWatt)
+		}
+	}
+	// Random reads suffer the most: reconstruction fans one read into
+	// five.  Expect a clear throughput loss there.
+	rr := r.Rows[0]
+	if rr.Degraded.Result.IOPS > rr.Healthy.Result.IOPS*0.95 {
+		t.Fatalf("random reads: degraded %.0f IOPS vs healthy %.0f — no visible penalty",
+			rr.Degraded.Result.IOPS, rr.Healthy.Result.IOPS)
+	}
+	var buf bytes.Buffer
+	RenderDegradedStudy(&buf, r)
+	if !strings.Contains(buf.String(), "Degraded-mode") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestSchedulerStudyShapes(t *testing.T) {
+	r, err := SchedulerStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]SchedulerRow{}
+	for _, row := range r.Rows {
+		byName[row.Scheduler] = row
+	}
+	fifo, sstf, look := byName["fifo"], byName["sstf"], byName["look"]
+	// Seek-optimising schedulers must beat FIFO on throughput and
+	// energy efficiency at this queue depth.
+	if sstf.Meas.Result.IOPS <= fifo.Meas.Result.IOPS {
+		t.Fatalf("SSTF IOPS %.0f <= FIFO %.0f", sstf.Meas.Result.IOPS, fifo.Meas.Result.IOPS)
+	}
+	if look.Meas.Result.IOPS <= fifo.Meas.Result.IOPS {
+		t.Fatalf("LOOK IOPS %.0f <= FIFO %.0f", look.Meas.Result.IOPS, fifo.Meas.Result.IOPS)
+	}
+	if sstf.Meas.Eff.IOPSPerWatt <= fifo.Meas.Eff.IOPSPerWatt {
+		t.Fatalf("SSTF IOPS/W %.3f <= FIFO %.3f", sstf.Meas.Eff.IOPSPerWatt, fifo.Meas.Eff.IOPSPerWatt)
+	}
+	var buf bytes.Buffer
+	RenderSchedulerStudy(&buf, r)
+	if !strings.Contains(buf.String(), "sstf") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/blktrace"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+)
+
+// AccuracyTable reproduces the shape of Tables IV and V: configured
+// load proportions against measured load proportions for a real-world
+// trace, in IOPS and MBPS.
+type AccuracyTable struct {
+	TraceLabel string
+	Configured []float64
+	// MeasuredIOPS and MeasuredMBPS are LP(f,f') per unit (in percent,
+	// as the paper prints them).
+	MeasuredIOPS, MeasuredMBPS []float64
+	// AccIOPS and AccMBPS are A(f,f').
+	AccIOPS, AccMBPS []float64
+	// MaxErrIOPS and MaxErrMBPS are the worst |A-1| per unit.
+	MaxErrIOPS, MaxErrMBPS float64
+}
+
+// realTraceAccuracy replays a real-world trace at each load and builds
+// the accuracy table.
+func realTraceAccuracy(cfg Config, label string, trace *blktrace.Trace) (*AccuracyTable, error) {
+	ms, err := loadSweep(cfg, HDDArray, trace)
+	if err != nil {
+		return nil, err
+	}
+	full := ms[len(ms)-1]
+	t := &AccuracyTable{TraceLabel: label, Configured: cfg.Loads}
+	for i, m := range ms {
+		lpIOPS := metrics.LoadProportion(full.Result.IOPS, m.Result.IOPS)
+		lpMBPS := metrics.LoadProportion(full.Result.MBPS, m.Result.MBPS)
+		accIOPS := metrics.Accuracy(lpIOPS, cfg.Loads[i])
+		accMBPS := metrics.Accuracy(lpMBPS, cfg.Loads[i])
+		t.MeasuredIOPS = append(t.MeasuredIOPS, lpIOPS*100)
+		t.MeasuredMBPS = append(t.MeasuredMBPS, lpMBPS*100)
+		t.AccIOPS = append(t.AccIOPS, accIOPS)
+		t.AccMBPS = append(t.AccMBPS, accMBPS)
+		if e := metrics.ErrorRate(accIOPS); e > t.MaxErrIOPS {
+			t.MaxErrIOPS = e
+		}
+		if e := metrics.ErrorRate(accMBPS); e > t.MaxErrMBPS {
+			t.MaxErrMBPS = e
+		}
+	}
+	return t, nil
+}
+
+// TableIV reproduces the web-server-trace load-control accuracy table:
+// the paper reports a maximum error around 7%.
+func TableIV(cfg Config) (*AccuracyTable, error) {
+	cfg = cfg.normalize()
+	wp := synth.DefaultWebServer()
+	wp.Seed = cfg.Seed
+	return realTraceAccuracy(cfg, "web-o4", synth.WebServerTrace(wp))
+}
+
+// TableV reproduces the HP cello99 accuracy table (MBPS only in the
+// paper): errors run higher than the web trace because cello's request
+// sizes are uneven, so dropped bunches carry uneven byte weight.
+func TableV(cfg Config) (*AccuracyTable, error) {
+	cfg = cfg.normalize()
+	cp := synth.DefaultCello()
+	cp.Seed = cfg.Seed
+	return realTraceAccuracy(cfg, "cello99", synth.CelloTrace(cp))
+}
+
+// RenderAccuracyTable prints the table the way the paper lays it out.
+func RenderAccuracyTable(w io.Writer, t *AccuracyTable) {
+	fmt.Fprintf(w, "Load control accuracy — %s trace\n", t.TraceLabel)
+	fmt.Fprint(w, "Configured Load %")
+	for _, c := range t.Configured {
+		fmt.Fprintf(w, "\t%.0f", c*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "Measured Load % of IOPS")
+	for _, v := range t.MeasuredIOPS {
+		fmt.Fprintf(w, "\t%.3f", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "Accuracy of IOPS")
+	for _, v := range t.AccIOPS {
+		fmt.Fprintf(w, "\t%.4f", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "Measured Load % of MBPS")
+	for _, v := range t.MeasuredMBPS {
+		fmt.Fprintf(w, "\t%.3f", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "Accuracy of MBPS")
+	for _, v := range t.AccMBPS {
+		fmt.Fprintf(w, "\t%.4f", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "max error: IOPS %.4f, MBPS %.4f\n", t.MaxErrIOPS, t.MaxErrMBPS)
+}
+
+// TableIIIResult reproduces the web trace's published statistics.
+type TableIIIResult struct {
+	Stats blktrace.Stats
+	// PublishedReadRatio and PublishedMeanReqKB are Table III's values
+	// for comparison.
+	PublishedReadRatio float64
+	PublishedMeanReqKB float64
+}
+
+// TableIII verifies the synthetic web trace reproduces the published
+// workload characteristics (read ratio 90.39%, mean request 21.5 KB).
+func TableIII(cfg Config) (*TableIIIResult, error) {
+	cfg = cfg.normalize()
+	wp := synth.DefaultWebServer()
+	wp.Seed = cfg.Seed
+	tr := synth.WebServerTrace(wp)
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &TableIIIResult{
+		Stats:              blktrace.ComputeStats(tr),
+		PublishedReadRatio: 0.9039,
+		PublishedMeanReqKB: 21.5,
+	}, nil
+}
+
+// RenderTableIII prints the comparison.
+func RenderTableIII(w io.Writer, r *TableIIIResult) {
+	fmt.Fprintln(w, "Table III — web server trace characteristics (published vs generated)")
+	fmt.Fprintf(w, "read ratio: published %.4f, generated %.4f\n", r.PublishedReadRatio, r.Stats.ReadRatio)
+	fmt.Fprintf(w, "mean request: published %.1f KB, generated %.1f KB\n",
+		r.PublishedMeanReqKB, r.Stats.AvgRequestBytes/1024)
+	fmt.Fprintf(w, "IOs %d, bunches %d, duration %.0fs, mean %.1f IOPS / %.2f MBPS\n",
+		r.Stats.IOs, r.Stats.Bunches, r.Stats.Duration.Seconds(), r.Stats.MeanIOPS, r.Stats.MeanMBPS)
+}

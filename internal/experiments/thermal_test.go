@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestThermalStudyTemperatureRisesWithLoad(t *testing.T) {
+	r, err := ThermalStudy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var steady []float64
+	for _, row := range r.Rows {
+		// Disks are warmer than ambient whenever powered.
+		if row.HottestC <= r.Ambient || row.MeanC <= r.Ambient {
+			t.Fatalf("load %.0f%%: temps at/below ambient: %+v", row.Load*100, row)
+		}
+		if row.HottestC < row.MeanC {
+			t.Fatalf("hottest below mean: %+v", row)
+		}
+		// Steady-state extrapolation is bounded by the seek-power ceiling:
+		// ambient + 13.5 W * 2.2 C/W ≈ 54.7 C.
+		if row.SteadyHottestC > 55.1 {
+			t.Fatalf("steady temp %v beyond physical ceiling", row.SteadyHottestC)
+		}
+		steady = append(steady, row.SteadyHottestC)
+	}
+	// The future-work claim: temperature tracks load intensity.
+	if !metrics.Monotone(steady, +1, 0.02) {
+		t.Fatalf("steady temperature not rising with load: %v", steady)
+	}
+	if steady[len(steady)-1]-steady[0] < 1 {
+		t.Fatalf("temperature span too small to be meaningful: %v", steady)
+	}
+	var buf bytes.Buffer
+	RenderThermalStudy(&buf, r)
+	if !strings.Contains(buf.String(), "Temperature vs load") {
+		t.Fatal("render incomplete")
+	}
+}

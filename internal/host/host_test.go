@@ -1,0 +1,153 @@
+package host
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func sampleRecord(load float64) Record {
+	return Record{
+		Device:    "raid5-hdd",
+		TraceName: "raid5__rs4096_rd0_rn50.replay",
+		Mode:      ModeVector{RequestBytes: 4096, RandomRatio: 0.5, LoadProportion: load},
+		Power:     PowerData{MeanWatts: 80, MeanVolts: 220, MeanAmps: 80.0 / 220, EnergyJ: 9600, Samples: 120},
+		Perf:      PerfData{IOPS: 500 * load, MBPS: 2 * load, MeanResponseMs: 8, DurationS: 120, IOs: int64(60000 * load)},
+		Efficiency: EfficiencyData{
+			IOPSPerWatt: 500 * load / 80,
+			MBPSPerKW:   2 * load / 0.08,
+		},
+	}
+}
+
+func TestInsertAssignsIDsAndTimes(t *testing.T) {
+	db := NewDB()
+	id1 := db.Insert(sampleRecord(0.1))
+	id2 := db.Insert(sampleRecord(0.2))
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("ids = %d, %d", id1, id2)
+	}
+	r, ok := db.Get(id1)
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if r.TestTime.IsZero() {
+		t.Fatal("TestTime not stamped")
+	}
+	if _, ok := db.Get(99); ok {
+		t.Fatal("Get(99) should fail")
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	db := NewDB()
+	for _, load := range []float64{0.1, 0.2, 0.5, 1.0} {
+		db.Insert(sampleRecord(load))
+	}
+	other := sampleRecord(0.5)
+	other.Device = "raid5-ssd"
+	db.Insert(other)
+
+	if got := db.Select(Query{Device: "raid5-hdd"}); len(got) != 4 {
+		t.Fatalf("device filter: %d", len(got))
+	}
+	if got := db.Select(Query{MinLoad: 0.4, MaxLoad: 0.6}); len(got) != 2 {
+		t.Fatalf("load filter: %d", len(got))
+	}
+	if got := db.Select(Query{RequestBytes: 4096}); len(got) != 5 {
+		t.Fatalf("size filter: %d", len(got))
+	}
+	if got := db.Select(Query{RequestBytes: 512}); len(got) != 0 {
+		t.Fatalf("non-matching size: %d", len(got))
+	}
+	if got := db.Select(Query{TraceName: "nope"}); len(got) != 0 {
+		t.Fatalf("trace filter: %d", len(got))
+	}
+	// Sorted by ID.
+	got := db.Select(Query{})
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Fatal("not sorted by ID")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.Insert(sampleRecord(0.3))
+	db.Insert(sampleRecord(0.7))
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d records", got.Len())
+	}
+	// IDs continue after reload.
+	if id := got.Insert(sampleRecord(0.9)); id != 3 {
+		t.Fatalf("next id = %d, want 3", id)
+	}
+	r, ok := got.Get(1)
+	if !ok || r.Power.MeanWatts != 80 {
+		t.Fatalf("record 1 = %+v ok=%v", r, ok)
+	}
+}
+
+func TestLoadDBMissingFile(t *testing.T) {
+	db, err := LoadDB(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 0 {
+		t.Fatal("missing file should load empty")
+	}
+	if id := db.Insert(sampleRecord(0.1)); id != 1 {
+		t.Fatalf("id = %d", id)
+	}
+}
+
+func TestLoadDBCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDB(path); err == nil {
+		t.Fatal("corrupt database accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := NewDB()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				db.Insert(sampleRecord(0.5))
+				db.Select(Query{MinLoad: 0.1})
+				db.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", db.Len())
+	}
+	// IDs must be unique.
+	seen := map[int64]bool{}
+	for _, r := range db.Select(Query{}) {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}

@@ -1,0 +1,162 @@
+package netproto
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+// pipeConns returns two framed connections joined by an in-memory pipe.
+func pipeConns() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+
+	go func() {
+		_ = a.Send(TypeStartTest, 7, StartTest{TraceName: "t.replay", LoadProportion: 0.4, SamplingCycleMs: 500})
+	}()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeStartTest || env.Seq != 7 {
+		t.Fatalf("envelope = %+v", env)
+	}
+	var st StartTest
+	if err := DecodeBody(env, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceName != "t.replay" || st.LoadProportion != 0.4 || st.SamplingCycleMs != 500 {
+		t.Fatalf("body = %+v", st)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() { _ = a.Send(TypeHello, 1, nil) }()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeHello {
+		t.Fatalf("type = %q", env.Type)
+	}
+	var h Hello
+	if err := DecodeBody(env, &h); err == nil {
+		t.Fatal("decoding an absent body should fail")
+	}
+}
+
+func TestAllMessageTypesRoundTrip(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+
+	msgs := []struct {
+		typ  string
+		body any
+	}{
+		{TypeHello, Hello{Role: "generator", Name: "g0"}},
+		{TypeTestProgress, IntervalReport{StartS: 1, EndS: 2, IOPS: 100, MBPS: 0.4}},
+		{TypeTestResult, TestResult{TraceName: "x", Device: "raid5", IOPS: 5, MBPS: 1, DurationS: 120, IOs: 600}},
+		{TypePowerSamples, PowerSamples{Channel: "ch0", Final: true, Samples: []PowerSample{{StartS: 0, EndS: 1, Watts: 80, Volts: 220, Amps: 0.36}}}},
+		{TypePowerReport, PowerReport{Channel: "ch0", MeanWatts: 80, MeanVolts: 220, MeanAmps: 0.36, EnergyJ: 9600, Samples: 120}},
+		{TypeError, ErrorReport{Message: "boom"}},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, m := range msgs {
+			if err := a.Send(m.typ, uint64(i), m.body); err != nil {
+				t.Errorf("send %s: %v", m.typ, err)
+			}
+		}
+	}()
+	for i, m := range msgs {
+		env, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if env.Type != m.typ || env.Seq != uint64(i) {
+			t.Fatalf("message %d: %+v", i, env)
+		}
+	}
+	wg.Wait()
+}
+
+func TestRecvOnClosedConn(t *testing.T) {
+	a, b := pipeConns()
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("Recv on closed pipe should fail")
+	}
+	b.Close()
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	big := make([]byte, MaxMessageBytes)
+	go func() {
+		err := a.Send(TypePowerSamples, 1, map[string]any{"blob": string(big)})
+		if !errors.Is(err, ErrMessageTooLarge) {
+			t.Errorf("oversize send err = %v", err)
+		}
+		a.Close()
+	}()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("peer should see the connection close, not a frame")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if err := a.Send(TypeHello, 0, Hello{Role: "r"}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < 4*n {
+			env, err := b.Recv()
+			if err != nil {
+				t.Errorf("recv after %d: %v", got, err)
+				return
+			}
+			if env.Type != TypeHello {
+				t.Errorf("interleaved frame corrupted: %+v", env)
+				return
+			}
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got != 4*n {
+		t.Fatalf("received %d frames, want %d", got, 4*n)
+	}
+}

@@ -1,0 +1,385 @@
+// Package powersim models power consumption of the simulated storage
+// system and the power analyzer that measures it.
+//
+// The paper measures a disk array's 220 V AC input with a Kingsin KS706
+// Hall-effect power meter sampling once per second.  Here every device
+// model records its instantaneous power draw on a Timeline (a step
+// function over virtual time).  A PSU converts the summed DC load into
+// AC wall power, and a Meter integrates the wall-power step function
+// over each sampling cycle — exactly the quantity a Hall-loop meter
+// reports — optionally corrupted by Gaussian sensor noise.
+package powersim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Timeline is a right-continuous step function of power (watts) over
+// virtual time.  Device models call Set whenever their power state
+// changes; times must be non-decreasing, which the single-threaded
+// simulation kernel guarantees naturally.
+type Timeline struct {
+	times []simtime.Time
+	watts []float64
+}
+
+// NewTimeline returns a timeline drawing base watts from time zero.
+func NewTimeline(base float64) *Timeline {
+	return &Timeline{times: []simtime.Time{0}, watts: []float64{base}}
+}
+
+// Set records that the power draw is w watts from time t onward.
+// Setting at a time earlier than the last recorded step panics; setting
+// at exactly the last step's time overwrites it.
+func (tl *Timeline) Set(t simtime.Time, w float64) {
+	if n := len(tl.times); n > 0 {
+		last := tl.times[n-1]
+		if t < last {
+			panic(fmt.Sprintf("powersim: Set at %v before last step %v", t, last))
+		}
+		if t == last {
+			tl.watts[n-1] = w
+			return
+		}
+		if tl.watts[n-1] == w {
+			return // no change; keep the timeline compact
+		}
+	}
+	tl.times = append(tl.times, t)
+	tl.watts = append(tl.watts, w)
+}
+
+// Add records a relative change of dw watts at time t.
+func (tl *Timeline) Add(t simtime.Time, dw float64) {
+	tl.Set(t, tl.At(simtime.MaxTime)+dw)
+}
+
+// At reports the power draw at time t.  Before the first step it
+// reports the first step's value (a timeline created by NewTimeline
+// always has a step at zero).
+func (tl *Timeline) At(t simtime.Time) float64 {
+	if len(tl.times) == 0 {
+		return 0
+	}
+	// Index of the last step at or before t.
+	i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return tl.watts[i]
+}
+
+// EnergyJ integrates the timeline over [t0, t1), returning joules.
+func (tl *Timeline) EnergyJ(t0, t1 simtime.Time) float64 {
+	if t1 <= t0 || len(tl.times) == 0 {
+		return 0
+	}
+	var joules float64
+	for i := range tl.times {
+		segStart := tl.times[i]
+		segEnd := simtime.MaxTime
+		if i+1 < len(tl.times) {
+			segEnd = tl.times[i+1]
+		}
+		lo, hi := maxTime(segStart, t0), minTime(segEnd, t1)
+		if hi > lo {
+			joules += tl.watts[i] * hi.Sub(lo).Seconds()
+		}
+		if segStart >= t1 {
+			break
+		}
+	}
+	return joules
+}
+
+// MeanWatts reports the average power over [t0, t1).
+func (tl *Timeline) MeanWatts(t0, t1 simtime.Time) float64 {
+	if t1 <= t0 {
+		return tl.At(t0)
+	}
+	return tl.EnergyJ(t0, t1) / t1.Sub(t0).Seconds()
+}
+
+// Steps reports the number of recorded steps (useful in tests).
+func (tl *Timeline) Steps() int { return len(tl.times) }
+
+// Segment is one constant-power span of a timeline.
+type Segment struct {
+	Start, End simtime.Time
+	Watts      float64
+}
+
+// Segments returns the constant-power spans covering [t0, t1), clipped
+// to that window.  Thermal models integrate over these exactly.
+func (tl *Timeline) Segments(t0, t1 simtime.Time) []Segment {
+	if t1 <= t0 || len(tl.times) == 0 {
+		return nil
+	}
+	var segs []Segment
+	for i := range tl.times {
+		segStart := tl.times[i]
+		segEnd := simtime.MaxTime
+		if i+1 < len(tl.times) {
+			segEnd = tl.times[i+1]
+		}
+		lo, hi := maxTime(segStart, t0), minTime(segEnd, t1)
+		if hi > lo {
+			segs = append(segs, Segment{Start: lo, End: hi, Watts: tl.watts[i]})
+		}
+		if segStart >= t1 {
+			break
+		}
+	}
+	return segs
+}
+
+func maxTime(a, b simtime.Time) simtime.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b simtime.Time) simtime.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Source is anything whose mean power over an interval can be measured.
+// *Timeline and Sum both implement it.
+type Source interface {
+	MeanWatts(t0, t1 simtime.Time) float64
+	EnergyJ(t0, t1 simtime.Time) float64
+}
+
+// Sum aggregates several sources: the total draw of an array is the sum
+// of its disks plus the chassis.
+type Sum []Source
+
+// MeanWatts implements Source.
+func (s Sum) MeanWatts(t0, t1 simtime.Time) float64 {
+	var w float64
+	for _, src := range s {
+		w += src.MeanWatts(t0, t1)
+	}
+	return w
+}
+
+// EnergyJ implements Source.
+func (s Sum) EnergyJ(t0, t1 simtime.Time) float64 {
+	var j float64
+	for _, src := range s {
+		j += src.EnergyJ(t0, t1)
+	}
+	return j
+}
+
+// PSU converts the DC load of the enclosure into AC wall power.  The
+// paper's array draws 220 V AC; its power supply dissipates a constant
+// standby loss plus conversion inefficiency proportional to load.
+type PSU struct {
+	// Source is the DC-side load.
+	Source Source
+	// Efficiency is the DC/AC conversion efficiency in (0, 1].
+	Efficiency float64
+	// StandbyW is constant loss drawn even at zero DC load.
+	StandbyW float64
+}
+
+// MeanWatts implements Source: wall power averaged over [t0, t1).
+func (p PSU) MeanWatts(t0, t1 simtime.Time) float64 {
+	return p.Source.MeanWatts(t0, t1)/p.eff() + p.StandbyW
+}
+
+// EnergyJ implements Source.
+func (p PSU) EnergyJ(t0, t1 simtime.Time) float64 {
+	return p.Source.EnergyJ(t0, t1)/p.eff() + p.StandbyW*t1.Sub(t0).Seconds()
+}
+
+func (p PSU) eff() float64 {
+	if p.Efficiency <= 0 || p.Efficiency > 1 {
+		return 1
+	}
+	return p.Efficiency
+}
+
+// Sample is one power-meter reading: the average over one sampling
+// cycle, decomposed into volts and amperes the way the paper's records
+// store them (current from the Hall loop, voltage from socket probes).
+type Sample struct {
+	// Start and End bound the sampling cycle.
+	Start, End simtime.Time
+	// Watts is the measured mean power over the cycle.
+	Watts float64
+	// Volts is the measured supply voltage.
+	Volts float64
+	// Amps is the measured current (Watts / Volts).
+	Amps float64
+}
+
+// Meter is a sampled power analyzer channel.  It mimics the KS706:
+// fixed-cycle averaging with small multiplicative Gaussian sensor noise.
+type Meter struct {
+	// Source is the wall-power source being clamped.
+	Source Source
+	// Cycle is the sampling period (paper default: 1 second).
+	Cycle simtime.Duration
+	// NoiseFrac is the relative 1-sigma measurement noise (e.g. 0.005
+	// for 0.5%).  Zero disables noise.
+	NoiseFrac float64
+	// SupplyVolts is the nominal AC supply voltage (paper: 220 V).
+	SupplyVolts float64
+	// Seed makes the noise stream reproducible.
+	Seed uint64
+}
+
+// DefaultMeter returns a meter configured like the paper's testbed:
+// 1-second cycle, 220 V supply, 0.5% sensor noise.
+func DefaultMeter(src Source) *Meter {
+	return &Meter{Source: src, Cycle: simtime.Second, NoiseFrac: 0.005, SupplyVolts: 220, Seed: 1}
+}
+
+// Measure samples the source over [t0, t1) and returns one Sample per
+// complete or partial cycle.
+func (m *Meter) Measure(t0, t1 simtime.Time) []Sample {
+	cycle := m.Cycle
+	if cycle <= 0 {
+		cycle = simtime.Second
+	}
+	volts := m.SupplyVolts
+	if volts <= 0 {
+		volts = 220
+	}
+	rng := rand.New(rand.NewPCG(m.Seed, 0x7ace))
+	var samples []Sample
+	for start := t0; start < t1; start = start.Add(cycle) {
+		end := minTime(start.Add(cycle), t1)
+		w := m.Source.MeanWatts(start, end)
+		if m.NoiseFrac > 0 {
+			w *= 1 + rng.NormFloat64()*m.NoiseFrac
+		}
+		v := volts
+		if m.NoiseFrac > 0 {
+			v *= 1 + rng.NormFloat64()*m.NoiseFrac*0.2
+		}
+		samples = append(samples, Sample{Start: start, End: end, Watts: w, Volts: v, Amps: w / v})
+	}
+	return samples
+}
+
+// MeanWatts averages the Watts field of a slice of samples, weighting
+// each sample by its cycle length.
+func MeanWatts(samples []Sample) float64 {
+	var joules, secs float64
+	for _, s := range samples {
+		d := s.End.Sub(s.Start).Seconds()
+		joules += s.Watts * d
+		secs += d
+	}
+	if secs == 0 {
+		return 0
+	}
+	return joules / secs
+}
+
+// EnergyJ sums sample energy (watts x cycle length).
+func EnergyJ(samples []Sample) float64 {
+	var joules float64
+	for _, s := range samples {
+		joules += s.Watts * s.End.Sub(s.Start).Seconds()
+	}
+	return joules
+}
+
+// Analyzer is a multi-channel power analyzer: the paper's meter can
+// clamp several storage systems at once (Section III-A3).
+type Analyzer struct {
+	channels map[string]*Meter
+	order    []string
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{channels: make(map[string]*Meter)}
+}
+
+// AddChannel registers a named meter channel.  Re-registering a name
+// replaces the previous meter.
+func (a *Analyzer) AddChannel(name string, m *Meter) {
+	if _, ok := a.channels[name]; !ok {
+		a.order = append(a.order, name)
+	}
+	a.channels[name] = m
+}
+
+// Channel returns the named meter, or nil.
+func (a *Analyzer) Channel(name string) *Meter { return a.channels[name] }
+
+// Channels lists channel names in registration order.
+func (a *Analyzer) Channels() []string { return append([]string(nil), a.order...) }
+
+// MeasureAll samples every channel over [t0, t1).
+func (a *Analyzer) MeasureAll(t0, t1 simtime.Time) map[string][]Sample {
+	out := make(map[string][]Sample, len(a.channels))
+	for name, m := range a.channels {
+		out[name] = m.Measure(t0, t1)
+	}
+	return out
+}
+
+// StateMachine is a helper for device models: it tracks a device's
+// current power state and writes the corresponding draw to a Timeline.
+// States are registered with fixed draws; transitions stamp the
+// timeline at the current virtual time.
+type StateMachine struct {
+	tl     *Timeline
+	states map[string]float64
+	cur    string
+}
+
+// NewStateMachine creates a machine with the given state table, starting
+// in state initial at time zero.
+func NewStateMachine(states map[string]float64, initial string) *StateMachine {
+	w, ok := states[initial]
+	if !ok {
+		panic(fmt.Sprintf("powersim: unknown initial state %q", initial))
+	}
+	cp := make(map[string]float64, len(states))
+	for k, v := range states {
+		cp[k] = v
+	}
+	return &StateMachine{tl: NewTimeline(w), states: cp, cur: initial}
+}
+
+// Transition moves to state name at time t.
+func (sm *StateMachine) Transition(t simtime.Time, name string) {
+	w, ok := sm.states[name]
+	if !ok {
+		panic(fmt.Sprintf("powersim: unknown state %q", name))
+	}
+	sm.cur = name
+	sm.tl.Set(t, w)
+}
+
+// State reports the current state name.
+func (sm *StateMachine) State() string { return sm.cur }
+
+// Timeline exposes the underlying power timeline.
+func (sm *StateMachine) Timeline() *Timeline { return sm.tl }
+
+// ApproxEqual reports whether two powers agree within tol relative
+// error; used by tests comparing metered against ground-truth power.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/denom <= tol
+}

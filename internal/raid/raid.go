@@ -1,0 +1,566 @@
+// Package raid models the disk-array controller the paper tests: a
+// RAID-5 enterprise array with a 128 KB strip size and its controller
+// cache disabled, plus a RAID-0 mode used by ablation experiments.
+//
+// The array implements storage.Device on top of per-disk models from
+// internal/disksim.  Reads are striped across member disks.  RAID-5
+// writes follow the classic two cases:
+//
+//   - full-stripe writes compute parity in the controller and write all
+//     member strips concurrently;
+//   - partial writes perform read-modify-write: old data and old parity
+//     are read first, then new data and new parity are written.
+//
+// Power: member-disk timelines plus a constant chassis draw (controller,
+// fans, backplane) feed a PSU model producing the 220 V AC wall power
+// the paper's Hall-effect meter clamps.  Fig. 7's experiment — idle
+// power versus populated disk count — falls straight out of this
+// structure.
+package raid
+
+import (
+	"fmt"
+
+	"repro/internal/disksim"
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// Level selects the array organisation.
+type Level int
+
+const (
+	// RAID0 stripes without redundancy.
+	RAID0 Level = iota
+	// RAID5 stripes with rotating parity.
+	RAID5
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "RAID0"
+	case RAID5:
+		return "RAID5"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Disk is a member device: block service plus a power timeline.
+// *disksim.HDD and *disksim.SSD both satisfy it.
+type Disk interface {
+	storage.Device
+	Timeline() *powersim.Timeline
+}
+
+// ChassisParams model the non-disk components of the enclosure:
+// controller, fans, motherboard (paper Section VI-A) and the power
+// supply converting to wall power.
+type ChassisParams struct {
+	// BaseW is the constant DC draw of the non-disk components.
+	BaseW float64
+	// PSUEfficiency converts DC load to AC wall power.
+	PSUEfficiency float64
+	// PSUStandbyW is constant AC-side loss.
+	PSUStandbyW float64
+}
+
+// Params configure an array.
+type Params struct {
+	// Level is RAID0 or RAID5.
+	Level Level
+	// StripBytes is the per-disk strip size (paper: 128 KB).
+	StripBytes int64
+	// CmdOverhead is controller latency added to each array request.
+	CmdOverhead simtime.Duration
+	// Chassis models the enclosure's non-disk power.
+	Chassis ChassisParams
+}
+
+// HDDChassis returns chassis parameters calibrated so the reproduction
+// of Fig. 7 keeps the paper's shape: the empty enclosure draws ~23 W at
+// the wall and member-disk power dominates beyond three disks.
+func HDDChassis() ChassisParams {
+	return ChassisParams{BaseW: 18, PSUEfficiency: 0.85, PSUStandbyW: 2}
+}
+
+// SSDChassis returns chassis parameters calibrated to the paper's
+// measured 195.8 W idle for the 4-SSD array (Section VI-G): the SSD
+// enclosure is a full SAN controller whose base draw dwarfs its drives.
+func SSDChassis() ChassisParams {
+	return ChassisParams{BaseW: 150.7, PSUEfficiency: 0.85, PSUStandbyW: 2}
+}
+
+// DefaultParams returns the paper's RAID-5 configuration: 128 KB strip,
+// cache disabled (no cache model exists at all), HDD chassis.
+func DefaultParams() Params {
+	return Params{
+		Level:       RAID5,
+		StripBytes:  128 * 1024,
+		CmdOverhead: 50 * simtime.Microsecond,
+		Chassis:     HDDChassis(),
+	}
+}
+
+// Stats count controller-level operations.
+type Stats struct {
+	// Reads and Writes count array-level requests served.
+	Reads, Writes int64
+	// DiskReads and DiskWrites count member-disk operations issued,
+	// including parity traffic.
+	DiskReads, DiskWrites int64
+	// ParityReads and ParityWrites count the parity-disk portion.
+	ParityReads, ParityWrites int64
+	// FullStripeWrites and RMWStripes classify write stripes.
+	FullStripeWrites, RMWStripes int64
+	// ReconstructReads counts reads served by XOR-reconstruction from
+	// the surviving members (degraded mode).
+	ReconstructReads int64
+	// DegradedStripes counts write stripes planned in degraded mode.
+	DegradedStripes int64
+}
+
+// Array is a simulated disk array.
+type Array struct {
+	engine *simtime.Engine
+	params Params
+	disks  []Disk
+
+	chassis *powersim.Timeline
+	failed  int // index of the failed member, or -1 when healthy
+	stats   Stats
+}
+
+// FailDisk marks member i failed (RAID5 only): subsequent reads that
+// touch it are served by reconstruction from the survivors, and writes
+// follow the degraded paths.  A second failure is rejected — RAID5
+// tolerates exactly one.
+func (a *Array) FailDisk(i int) error {
+	if a.params.Level != RAID5 {
+		return fmt.Errorf("raid: %v has no redundancy to run degraded", a.params.Level)
+	}
+	if i < 0 || i >= len(a.disks) {
+		return fmt.Errorf("raid: no member %d", i)
+	}
+	if a.failed >= 0 {
+		return fmt.Errorf("raid: member %d already failed; RAID5 tolerates one failure", a.failed)
+	}
+	a.failed = i
+	return nil
+}
+
+// RestoreDisk brings the offline member back into the array.  Energy
+// studies use FailDisk/RestoreDisk as a reversible logical spin-down
+// (eRAID-style): while one member rests, its reads are served by
+// reconstruction.  A production array would resynchronise stale strips
+// on restore; the performance model treats restoration as immediate
+// and leaves data consistency out of scope (no payload is stored).
+func (a *Array) RestoreDisk() {
+	a.failed = -1
+}
+
+// Healthy reports whether all members are online.
+func (a *Array) Healthy() bool { return a.failed < 0 }
+
+// New assembles an array over the given member disks.  RAID5 requires
+// at least three members; RAID0 at least one.  All members should have
+// equal capacity; the smallest bounds the geometry.
+func New(engine *simtime.Engine, params Params, disks []Disk) (*Array, error) {
+	if params.StripBytes <= 0 {
+		return nil, fmt.Errorf("raid: strip size must be positive, got %d", params.StripBytes)
+	}
+	min := 1
+	if params.Level == RAID5 {
+		min = 3
+	}
+	if len(disks) < min {
+		return nil, fmt.Errorf("raid: %v needs >= %d disks, got %d", params.Level, min, len(disks))
+	}
+	if params.Level != RAID0 && params.Level != RAID5 {
+		return nil, fmt.Errorf("raid: unsupported level %v", params.Level)
+	}
+	return &Array{
+		engine:  engine,
+		params:  params,
+		disks:   disks,
+		chassis: powersim.NewTimeline(params.Chassis.BaseW),
+		failed:  -1,
+	}, nil
+}
+
+// NewHDDArray builds a RAID array of n identical HDDs, seeding each
+// drive's RNG distinctly so rotational latencies decorrelate.
+func NewHDDArray(engine *simtime.Engine, params Params, n int, drive disksim.HDDParams) (*Array, error) {
+	disks := make([]Disk, n)
+	for i := range disks {
+		p := drive
+		p.Seed = drive.Seed + uint64(i)*1000003
+		p.Name = fmt.Sprintf("%s-%d", drive.Name, i)
+		disks[i] = disksim.NewHDD(engine, p)
+	}
+	return New(engine, params, disks)
+}
+
+// NewSSDArray builds a RAID array of n identical SSDs.
+func NewSSDArray(engine *simtime.Engine, params Params, n int, drive disksim.SSDParams) (*Array, error) {
+	disks := make([]Disk, n)
+	for i := range disks {
+		p := drive
+		p.Seed = drive.Seed + uint64(i)*1000003
+		p.Name = fmt.Sprintf("%s-%d", drive.Name, i)
+		disks[i] = disksim.NewSSD(engine, p)
+	}
+	return New(engine, params, disks)
+}
+
+// Capacity implements storage.Device: usable data capacity.
+func (a *Array) Capacity() int64 {
+	per := a.minDiskCapacity()
+	switch a.params.Level {
+	case RAID5:
+		return per * int64(len(a.disks)-1)
+	default:
+		return per * int64(len(a.disks))
+	}
+}
+
+func (a *Array) minDiskCapacity() int64 {
+	min := a.disks[0].Capacity()
+	for _, d := range a.disks[1:] {
+		if c := d.Capacity(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Disks exposes the member devices (experiments inspect per-disk stats).
+func (a *Array) Disks() []Disk { return a.disks }
+
+// Stats returns a snapshot of controller counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// Params returns the array configuration.
+func (a *Array) Params() Params { return a.params }
+
+// PowerSource returns the wall-power source for this array: disks plus
+// chassis behind the PSU.  Feed it to a powersim.Meter.
+func (a *Array) PowerSource() powersim.Source {
+	sum := powersim.Sum{a.chassis}
+	for _, d := range a.disks {
+		sum = append(sum, d.Timeline())
+	}
+	eff := a.params.Chassis.PSUEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	return powersim.PSU{Source: sum, Efficiency: eff, StandbyW: a.params.Chassis.PSUStandbyW}
+}
+
+// segment is one strip-aligned fragment of an array request mapped to a
+// member disk.
+type segment struct {
+	disk       int
+	diskOffset int64
+	size       int64
+	stripe     int64 // RAID5 stripe index (RAID0: row index)
+	parityDisk int   // RAID5 only
+}
+
+// mapRange splits [off, off+size) into per-disk segments.
+func (a *Array) mapRange(off, size int64) []segment {
+	s := a.params.StripBytes
+	n := int64(len(a.disks))
+	var segs []segment
+	for size > 0 {
+		strip := off / s
+		within := off % s
+		take := s - within
+		if take > size {
+			take = size
+		}
+		var seg segment
+		switch a.params.Level {
+		case RAID0:
+			seg = segment{
+				disk:       int(strip % n),
+				diskOffset: (strip/n)*s + within,
+				size:       take,
+				stripe:     strip / n,
+				parityDisk: -1,
+			}
+		case RAID5:
+			dataPer := n - 1
+			stripe := strip / dataPer
+			k := strip % dataPer
+			parity := int(stripe % n)
+			disk := (parity + 1 + int(k)) % int(n)
+			seg = segment{
+				disk:       disk,
+				diskOffset: stripe*s + within,
+				size:       take,
+				stripe:     stripe,
+				parityDisk: parity,
+			}
+		}
+		segs = append(segs, seg)
+		off += take
+		size -= take
+	}
+	return segs
+}
+
+// Submit implements storage.Device.
+func (a *Array) Submit(req storage.Request, done func(simtime.Time)) {
+	if err := req.Validate(0); err != nil {
+		panic(fmt.Sprintf("raid: invalid request: %v", err))
+	}
+	req.Offset = foldOffset(req.Offset, req.Size, a.Capacity())
+	// Controller command overhead before member-disk issue.
+	a.engine.After(a.params.CmdOverhead, func() {
+		switch req.Op {
+		case storage.Read:
+			a.stats.Reads++
+			a.submitRead(req, done)
+		case storage.Write:
+			a.stats.Writes++
+			a.submitWrite(req, done)
+		}
+	})
+}
+
+// diskOp is one member-disk operation planned by the controller.
+type diskOp struct {
+	disk int
+	req  storage.Request
+}
+
+// issueAll submits the planned ops and calls done with the slowest
+// completion time.
+func (a *Array) issueAll(ops []diskOp, done func(simtime.Time)) {
+	outstanding := len(ops)
+	if outstanding == 0 {
+		now := a.engine.Now()
+		a.engine.Schedule(now, func() { done(now) })
+		return
+	}
+	var latest simtime.Time
+	for _, op := range ops {
+		switch op.req.Op {
+		case storage.Read:
+			a.stats.DiskReads++
+		case storage.Write:
+			a.stats.DiskWrites++
+		}
+		a.disks[op.disk].Submit(op.req, func(t simtime.Time) {
+			if t > latest {
+				latest = t
+			}
+			outstanding--
+			if outstanding == 0 {
+				done(latest)
+			}
+		})
+	}
+}
+
+// submitRead fans the request out and completes when the slowest member
+// finishes.  Segments on a failed member are reconstructed by reading
+// the same byte range from every survivor of the stripe and XOR-ing in
+// controller memory.
+func (a *Array) submitRead(req storage.Request, done func(simtime.Time)) {
+	segs := a.mapRange(req.Offset, req.Size)
+	var ops []diskOp
+	for _, seg := range segs {
+		if seg.disk == a.failed {
+			a.stats.ReconstructReads++
+			for j := range a.disks {
+				if j == a.failed {
+					continue
+				}
+				ops = append(ops, diskOp{disk: j, req: storage.Request{Op: storage.Read, Offset: seg.diskOffset, Size: seg.size}})
+			}
+			continue
+		}
+		ops = append(ops, diskOp{disk: seg.disk, req: storage.Request{Op: storage.Read, Offset: seg.diskOffset, Size: seg.size}})
+	}
+	a.issueAll(ops, done)
+}
+
+// stripePlan groups a write's segments that fall in one RAID-5 stripe.
+type stripePlan struct {
+	stripe     int64
+	parityDisk int
+	segs       []segment
+	fullStripe bool
+	// parityOffset/paritySize is the union byte range the parity strip
+	// must be updated over.
+	parityOffset, paritySize int64
+}
+
+// submitWrite executes the RAID-0 or RAID-5 write path.
+func (a *Array) submitWrite(req storage.Request, done func(simtime.Time)) {
+	segs := a.mapRange(req.Offset, req.Size)
+	if a.params.Level == RAID0 {
+		var ops []diskOp
+		for _, seg := range segs {
+			ops = append(ops, diskOp{disk: seg.disk, req: storage.Request{Op: storage.Write, Offset: seg.diskOffset, Size: seg.size}})
+		}
+		a.issueAll(ops, done)
+		return
+	}
+
+	plans := a.planStripes(segs)
+	outstanding := len(plans)
+	var latest simtime.Time
+	for _, p := range plans {
+		a.executeStripeWrite(p, func(t simtime.Time) {
+			if t > latest {
+				latest = t
+			}
+			outstanding--
+			if outstanding == 0 {
+				done(latest)
+			}
+		})
+	}
+}
+
+// planStripes groups segments by stripe and classifies each stripe as a
+// full-stripe write or a read-modify-write.
+func (a *Array) planStripes(segs []segment) []stripePlan {
+	var plans []stripePlan
+	byStripe := map[int64]*stripePlan{}
+	var order []int64
+	for _, seg := range segs {
+		p, ok := byStripe[seg.stripe]
+		if !ok {
+			p = &stripePlan{stripe: seg.stripe, parityDisk: seg.parityDisk, parityOffset: seg.diskOffset, paritySize: seg.size}
+			byStripe[seg.stripe] = p
+			order = append(order, seg.stripe)
+		}
+		p.segs = append(p.segs, seg)
+		// Extend the parity union range.
+		lo, hi := p.parityOffset, p.parityOffset+p.paritySize
+		if seg.diskOffset < lo {
+			lo = seg.diskOffset
+		}
+		if end := seg.diskOffset + seg.size; end > hi {
+			hi = end
+		}
+		p.parityOffset, p.paritySize = lo, hi-lo
+	}
+	dataWidth := int64(len(a.disks) - 1)
+	for _, st := range order {
+		p := byStripe[st]
+		var covered int64
+		full := true
+		for _, seg := range p.segs {
+			covered += seg.size
+			if seg.size != a.params.StripBytes || seg.diskOffset != p.stripe*a.params.StripBytes {
+				full = false
+			}
+		}
+		p.fullStripe = full && covered == dataWidth*a.params.StripBytes
+		plans = append(plans, *p)
+	}
+	return plans
+}
+
+// executeStripeWrite performs either a full-stripe write (write all
+// data strips plus parity) or read-modify-write (read old data and old
+// parity, then write new data and new parity).  In degraded mode the
+// plan adapts: a failed parity disk drops all parity traffic; a failed
+// data disk forces reconstruct-write — read the union range from every
+// surviving data disk to recompute parity, skip the lost data write.
+func (a *Array) executeStripeWrite(p stripePlan, done func(simtime.Time)) {
+	degraded := a.failed >= 0 && a.stripeTouchesFailed(p)
+	if degraded {
+		a.stats.DegradedStripes++
+	}
+	parityAlive := p.parityDisk != a.failed
+
+	var writes []diskOp
+	for _, seg := range p.segs {
+		if seg.disk == a.failed {
+			continue // the lost member absorbs no writes; parity covers it
+		}
+		writes = append(writes, diskOp{disk: seg.disk, req: storage.Request{Op: storage.Write, Offset: seg.diskOffset, Size: seg.size}})
+	}
+	if parityAlive {
+		a.stats.ParityWrites++
+		writes = append(writes, diskOp{disk: p.parityDisk, req: storage.Request{Op: storage.Write, Offset: p.parityOffset, Size: p.paritySize}})
+	}
+
+	if p.fullStripe {
+		a.stats.FullStripeWrites++
+		// Parity is computed from the new data in controller memory —
+		// no pre-reads needed.
+		a.issueAll(writes, done)
+		return
+	}
+
+	a.stats.RMWStripes++
+	var reads []diskOp
+	switch {
+	case !degraded:
+		// Classic RMW: old data under each segment plus old parity.
+		for _, seg := range p.segs {
+			reads = append(reads, diskOp{disk: seg.disk, req: storage.Request{Op: storage.Read, Offset: seg.diskOffset, Size: seg.size}})
+		}
+		a.stats.ParityReads++
+		reads = append(reads, diskOp{disk: p.parityDisk, req: storage.Request{Op: storage.Read, Offset: p.parityOffset, Size: p.paritySize}})
+	case !parityAlive:
+		// Parity lost: data writes need no pre-reads at all.
+	default:
+		// A data member lost: reconstruct-write.  Read the union range
+		// from every surviving data disk so parity can be recomputed
+		// from scratch.
+		for j := range a.disks {
+			if j == a.failed || j == p.parityDisk {
+				continue
+			}
+			reads = append(reads, diskOp{disk: j, req: storage.Request{Op: storage.Read, Offset: p.parityOffset, Size: p.paritySize}})
+		}
+	}
+	if len(reads) == 0 {
+		a.issueAll(writes, done)
+		return
+	}
+	a.issueAll(reads, func(simtime.Time) { a.issueAll(writes, done) })
+}
+
+// stripeTouchesFailed reports whether the plan involves the failed
+// member (as a data target or as the parity disk).
+func (a *Array) stripeTouchesFailed(p stripePlan) bool {
+	if p.parityDisk == a.failed {
+		return true
+	}
+	for _, seg := range p.segs {
+		if seg.disk == a.failed {
+			return true
+		}
+	}
+	return false
+}
+
+// foldOffset wraps an out-of-range request into the array's data space,
+// mirroring disksim's behaviour so traces from larger stores replay.
+func foldOffset(offset, size, capacity int64) int64 {
+	if size >= capacity {
+		return 0
+	}
+	if offset+size <= capacity {
+		return offset
+	}
+	off := offset % capacity
+	if off+size > capacity {
+		off = capacity - size
+	}
+	return off
+}
+
+var _ storage.Device = (*Array)(nil)

@@ -1,0 +1,283 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blktrace"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// percentile returns the nearest-rank percentile of a sorted slice.
+func percentile(sorted []simtime.Duration, q float64) simtime.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Options tune a replay run.
+type Options struct {
+	// SamplingCycle is the reporting interval for per-interval
+	// throughput (paper default: 1 second, configurable).
+	SamplingCycle simtime.Duration
+	// Tail bounds how long the engine waits after the last bunch for
+	// outstanding completions; zero waits indefinitely (until the
+	// simulation drains, which always terminates for the device models
+	// in this repository).
+	Tail simtime.Duration
+}
+
+// Interval is one sampling cycle's throughput record, matching the
+// per-interval IOPS/MBPS TRACER's GUI plots during a run (Fig. 12).
+type Interval struct {
+	// Start and End bound the cycle.
+	Start, End simtime.Time
+	// IOs and Bytes count completions inside the cycle.
+	IOs   int64
+	Bytes int64
+	// IOPS and MBPS are the cycle's throughput.
+	IOPS, MBPS float64
+	// MeanResponse averages response time of the IOs completing in the
+	// cycle; zero when none completed.
+	MeanResponse simtime.Duration
+}
+
+// Result summarises one replay run.
+type Result struct {
+	// Trace identifies the replayed (possibly filtered) trace.
+	Trace string
+	// Filter names the load-control filter used.
+	Filter string
+	// Start and End bound the run on the virtual clock.
+	Start, End simtime.Time
+	// Issued and Completed count IOs; they are equal after a clean run.
+	Issued, Completed int64
+	// Bytes is the payload volume replayed.
+	Bytes int64
+	// IOPS and MBPS are throughput over the whole run.
+	IOPS, MBPS float64
+	// MeanResponse and MaxResponse aggregate per-IO response times.
+	MeanResponse, MaxResponse simtime.Duration
+	// P50, P95 and P99 are response-time percentiles: tail latency is
+	// the cost dimension energy-conservation techniques trade against
+	// savings, so the tool reports it directly.
+	P50Response, P95Response, P99Response simtime.Duration
+	// Intervals hold the per-cycle series.
+	Intervals []Interval
+}
+
+// Duration reports the run length.
+func (r *Result) Duration() simtime.Duration { return r.End.Sub(r.Start) }
+
+// Replay replays the trace against dev on engine, issuing each bunch at
+// its original timestamp (offset from the current virtual time) and all
+// packages of a bunch concurrently.  It runs the simulation to
+// completion and returns the measured throughput.
+//
+// Replay is open-loop, as the paper's tool is: bunch issue times come
+// from the trace, not from completions, so an overloaded device simply
+// accumulates queueing — visible as growing response times.
+func Replay(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, opts Options) (*Result, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	cycle := opts.SamplingCycle
+	if cycle <= 0 {
+		cycle = simtime.Second
+	}
+	start := engine.Now()
+	res := &Result{Trace: trace.Device, Start: start}
+	var completions []completion
+
+	for i := range trace.Bunches {
+		bunch := &trace.Bunches[i]
+		at := start.Add(bunch.Time)
+		pkgs := bunch.Packages
+		engine.Schedule(at, func() {
+			issueTime := engine.Now()
+			for _, p := range pkgs {
+				p := p
+				res.Issued++
+				dev.Submit(p.Request(), func(finish simtime.Time) {
+					res.Completed++
+					completions = append(completions, completion{
+						finish:   finish,
+						issue:    issueTime,
+						bytes:    p.Size,
+						response: finish.Sub(issueTime),
+					})
+				})
+			}
+		})
+	}
+	if opts.Tail > 0 {
+		engine.RunUntil(start.Add(trace.Duration() + opts.Tail))
+	} else {
+		engine.Run()
+	}
+
+	finalize(res, completions, start.Add(trace.Duration()), cycle)
+	return res, nil
+}
+
+// completion records one finished IO for aggregation.
+type completion struct {
+	finish   simtime.Time
+	issue    simtime.Time
+	bytes    int64
+	response simtime.Duration
+}
+
+// finalize derives throughput, response statistics and the per-cycle
+// interval series from raw completions.  minEnd extends the run window
+// (open-loop replay measures over at least the trace duration even if
+// the device finished early).
+func finalize(res *Result, completions []completion, minEnd simtime.Time, cycle simtime.Duration) {
+	end := minEnd
+	var respSum simtime.Duration
+	for _, c := range completions {
+		if c.finish > end {
+			end = c.finish
+		}
+		res.Bytes += c.bytes
+		respSum += c.response
+		if c.response > res.MaxResponse {
+			res.MaxResponse = c.response
+		}
+	}
+	res.End = end
+	if res.Completed > 0 {
+		res.MeanResponse = respSum / simtime.Duration(res.Completed)
+		responses := make([]simtime.Duration, len(completions))
+		for i, c := range completions {
+			responses[i] = c.response
+		}
+		sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
+		res.P50Response = percentile(responses, 0.50)
+		res.P95Response = percentile(responses, 0.95)
+		res.P99Response = percentile(responses, 0.99)
+	}
+	if secs := res.Duration().Seconds(); secs > 0 {
+		res.IOPS = float64(res.Completed) / secs
+		res.MBPS = float64(res.Bytes) / (1 << 20) / secs
+	}
+
+	// Per-cycle series, bucketing completions by finish time.
+	start := res.Start
+	if res.Duration() > 0 {
+		nBuckets := int((res.Duration() + cycle - 1) / cycle)
+		type agg struct {
+			ios, bytes int64
+			resp       simtime.Duration
+		}
+		buckets := make([]agg, nBuckets)
+		for _, c := range completions {
+			i := int(c.finish.Sub(start) / cycle)
+			if i >= nBuckets {
+				i = nBuckets - 1
+			}
+			buckets[i].ios++
+			buckets[i].bytes += c.bytes
+			buckets[i].resp += c.response
+		}
+		for i, b := range buckets {
+			ivStart := start.Add(simtime.Duration(i) * cycle)
+			ivEnd := ivStart.Add(cycle)
+			if ivEnd > res.End {
+				ivEnd = res.End
+			}
+			secs := ivEnd.Sub(ivStart).Seconds()
+			iv := Interval{Start: ivStart, End: ivEnd, IOs: b.ios, Bytes: b.bytes}
+			if secs > 0 {
+				iv.IOPS = float64(b.ios) / secs
+				iv.MBPS = float64(b.bytes) / (1 << 20) / secs
+			}
+			if b.ios > 0 {
+				iv.MeanResponse = b.resp / simtime.Duration(b.ios)
+			}
+			res.Intervals = append(res.Intervals, iv)
+		}
+	}
+}
+
+// ReplayClosedLoop replays the trace's requests in order while ignoring
+// their timestamps, keeping queueDepth requests outstanding — the
+// "reduce idle periods to raise intensity" mode Section IV-A motivates,
+// taken to its as-fast-as-possible limit.  It measures the device's
+// peak capability under the trace's exact access pattern.
+func ReplayClosedLoop(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, queueDepth int, opts Options) (*Result, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if queueDepth <= 0 {
+		queueDepth = 8
+	}
+	cycle := opts.SamplingCycle
+	if cycle <= 0 {
+		cycle = simtime.Second
+	}
+	start := engine.Now()
+	res := &Result{Trace: trace.Device, Start: start, Filter: "closed-loop"}
+	var completions []completion
+
+	// Flatten to a request list preserving trace order.
+	var pkgs []blktrace.IOPackage
+	for i := range trace.Bunches {
+		pkgs = append(pkgs, trace.Bunches[i].Packages...)
+	}
+	next := 0
+	var issue func()
+	issue = func() {
+		if next >= len(pkgs) {
+			return
+		}
+		p := pkgs[next]
+		next++
+		res.Issued++
+		issueTime := engine.Now()
+		dev.Submit(p.Request(), func(finish simtime.Time) {
+			res.Completed++
+			completions = append(completions, completion{
+				finish:   finish,
+				issue:    issueTime,
+				bytes:    p.Size,
+				response: finish.Sub(issueTime),
+			})
+			issue()
+		})
+	}
+	for i := 0; i < queueDepth && i < len(pkgs); i++ {
+		issue()
+	}
+	engine.Run()
+	finalize(res, completions, start, cycle)
+	return res, nil
+}
+
+// ReplayFiltered applies the filter and replays the result, stamping
+// the filter name into the Result.
+func ReplayFiltered(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, f Filter, opts Options) (*Result, error) {
+	filtered := f.Apply(trace)
+	res, err := Replay(engine, dev, filtered, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Filter = f.Name()
+	return res, nil
+}
+
+// ReplayAtLoad is the common case: replay at a configured load
+// proportion using the paper's uniform filter with the default group
+// size.
+func ReplayAtLoad(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, proportion float64, opts Options) (*Result, error) {
+	return ReplayFiltered(engine, dev, trace, UniformFilter{Proportion: proportion}, opts)
+}

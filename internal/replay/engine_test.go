@@ -1,0 +1,243 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/disksim"
+	"repro/internal/raid"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/synth"
+)
+
+// fixedLatencyDevice completes every request after a constant delay.
+type fixedLatencyDevice struct {
+	engine  *simtime.Engine
+	latency simtime.Duration
+}
+
+func (d *fixedLatencyDevice) Submit(req storage.Request, done func(simtime.Time)) {
+	finish := d.engine.Now().Add(d.latency)
+	d.engine.Schedule(finish, func() { done(finish) })
+}
+
+func (d *fixedLatencyDevice) Capacity() int64 { return 1 << 40 }
+
+func TestReplayIssuesEverything(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Millisecond}
+	tr := makeTrace(100)
+	res, err := Replay(e, dev, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 100 || res.Completed != 100 {
+		t.Fatalf("issued=%d completed=%d, want 100/100", res.Issued, res.Completed)
+	}
+	if res.Bytes != 100*4096 {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+	// last bunch at 99 ms + 1 ms latency
+	if res.End != simtime.Time(100*simtime.Millisecond) {
+		t.Fatalf("End = %v, want 100ms", res.End)
+	}
+	if res.MeanResponse != simtime.Millisecond || res.MaxResponse != simtime.Millisecond {
+		t.Fatalf("responses: mean=%v max=%v", res.MeanResponse, res.MaxResponse)
+	}
+	wantIOPS := 100 / 0.1
+	if math.Abs(res.IOPS-wantIOPS) > 1e-6 {
+		t.Fatalf("IOPS = %v, want %v", res.IOPS, wantIOPS)
+	}
+}
+
+func TestReplayHonoursTimestamps(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Microsecond}
+	tr := &blktrace.Trace{Device: "x", Bunches: []blktrace.Bunch{
+		{Time: 50 * simtime.Millisecond, Packages: []blktrace.IOPackage{{Sector: 0, Size: 512, Op: storage.Read}}},
+	}}
+	res, err := Replay(e, dev, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simtime.Time(50*simtime.Millisecond + simtime.Microsecond)
+	if res.End != want {
+		t.Fatalf("completion at %v, want %v (issue at original timestamp)", res.End, want)
+	}
+}
+
+func TestReplayBunchConcurrency(t *testing.T) {
+	// All packages of one bunch must be issued at the same instant: with
+	// a fixed-latency device they complete at the same time.
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Millisecond}
+	tr := &blktrace.Trace{Device: "x", Bunches: []blktrace.Bunch{
+		{Time: 0, Packages: []blktrace.IOPackage{
+			{Sector: 0, Size: 512, Op: storage.Read},
+			{Sector: 100, Size: 512, Op: storage.Read},
+			{Sector: 200, Size: 512, Op: storage.Write},
+		}},
+	}}
+	res, err := Replay(e, dev, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.End != simtime.Time(simtime.Millisecond) {
+		t.Fatalf("End = %v: bunch not issued concurrently", res.End)
+	}
+	if res.MaxResponse != simtime.Millisecond {
+		t.Fatalf("MaxResponse = %v", res.MaxResponse)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Millisecond}
+	res, err := Replay(e, dev, &blktrace.Trace{Device: "empty"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 0 || res.IOPS != 0 || len(res.Intervals) != 0 {
+		t.Fatalf("empty replay: %+v", res)
+	}
+}
+
+func TestReplayRejectsInvalidTrace(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Millisecond}
+	bad := &blktrace.Trace{Bunches: []blktrace.Bunch{{Time: 0}}} // empty bunch
+	if _, err := Replay(e, dev, bad, Options{}); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+func TestReplayIntervals(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Microsecond}
+	// 1 IO per ms for 2.5 virtual seconds.
+	tr := makeTraceSpaced(2500, simtime.Millisecond)
+	res, err := Replay(e, dev, tr, Options{SamplingCycle: simtime.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 3 {
+		t.Fatalf("%d intervals, want 3", len(res.Intervals))
+	}
+	var total int64
+	for _, iv := range res.Intervals {
+		total += iv.IOs
+	}
+	if total != 2500 {
+		t.Fatalf("interval IOs sum to %d, want 2500", total)
+	}
+	// Steady rate: first two full intervals should see ~1000 IOPS.
+	if math.Abs(res.Intervals[0].IOPS-1000) > 10 || math.Abs(res.Intervals[1].IOPS-1000) > 10 {
+		t.Fatalf("interval IOPS = %v, %v; want ~1000", res.Intervals[0].IOPS, res.Intervals[1].IOPS)
+	}
+}
+
+func makeTraceSpaced(n int, gap simtime.Duration) *blktrace.Trace {
+	t := &blktrace.Trace{Device: "spaced"}
+	for i := 0; i < n; i++ {
+		t.Bunches = append(t.Bunches, blktrace.Bunch{
+			Time:     simtime.Duration(i) * gap,
+			Packages: []blktrace.IOPackage{{Sector: int64(i) * 8, Size: 4096, Op: storage.Read}},
+		})
+	}
+	return t
+}
+
+func TestReplayTailCutsWait(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Hour} // pathological device
+	tr := makeTrace(5)
+	res, err := Replay(e, dev, tr, Options{Tail: simtime.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed %d, expected tail to cut off the hour-long IOs", res.Completed)
+	}
+	if res.Issued != 5 {
+		t.Fatalf("issued = %d", res.Issued)
+	}
+}
+
+// TestLoadControlAccuracy is the in-package version of the paper's
+// Fig. 8 validation: collect a fixed-size peak trace, replay it at
+// every configured load proportion, and check the measured IOPS
+// proportion tracks the configured one closely.
+func TestLoadControlAccuracy(t *testing.T) {
+	// Collect the peak trace on a pristine array.
+	e1 := simtime.NewEngine()
+	a1, err := raid.NewHDDArray(e1, raid.DefaultParams(), 6, disksim.Seagate7200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := synth.Collect(e1, a1, synth.CollectParams{
+		Mode:            synth.Mode{RequestBytes: 4096, ReadRatio: 0, RandomRatio: 0.5},
+		Duration:        4 * simtime.Second,
+		QueueDepth:      8,
+		WorkingSetBytes: 8 << 30,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(p float64) float64 {
+		e := simtime.NewEngine()
+		a, err := raid.NewHDDArray(e, raid.DefaultParams(), 6, disksim.Seagate7200())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReplayAtLoad(e, a, trace, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IOPS
+	}
+	full := measure(1.0)
+	if full <= 0 {
+		t.Fatal("no throughput at 100%")
+	}
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got := measure(p) / full
+		if math.Abs(got-p) > 0.05*p+0.01 {
+			t.Errorf("configured %v, measured proportion %.4f", p, got)
+		}
+	}
+}
+
+func TestReplayFilteredStampsName(t *testing.T) {
+	e := simtime.NewEngine()
+	dev := &fixedLatencyDevice{engine: e, latency: simtime.Microsecond}
+	res, err := ReplayFiltered(e, dev, makeTrace(50), UniformFilter{Proportion: 0.2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Filter != "uniform-20%" {
+		t.Fatalf("Filter = %q", res.Filter)
+	}
+	if res.Issued != 10 {
+		t.Fatalf("Issued = %d, want 10", res.Issued)
+	}
+}
+
+func BenchmarkReplay4KTrace(b *testing.B) {
+	tr := makeTrace(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := simtime.NewEngine()
+		a, err := raid.NewHDDArray(e, raid.DefaultParams(), 6, disksim.Seagate7200())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Replay(e, a, tr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

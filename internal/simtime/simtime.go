@@ -1,0 +1,159 @@
+// Package simtime provides a deterministic discrete-event simulation
+// kernel used by the simulated storage substrate in this repository.
+//
+// The paper's TRACER replays traces against a physical disk array; this
+// reproduction replays against simulated devices instead.  Every device
+// model (HDD, SSD, RAID controller, power meter) advances on the virtual
+// clock owned by an Engine.  The kernel is intentionally single-threaded:
+// events execute in strict timestamp order (ties broken by scheduling
+// order), which makes every experiment bit-for-bit reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point on the virtual clock, in nanoseconds since the start of
+// the simulation.  It is deliberately an integer type so that event
+// ordering is exact and runs are reproducible.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.  It mirrors
+// time.Duration so the two convert trivially.
+type Duration int64
+
+// Common durations, mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds reports the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Std converts a virtual duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// FromSeconds converts a floating-point number of seconds to a Duration,
+// rounding to the nearest nanosecond.
+func FromSeconds(s float64) Duration { return Duration(math.Round(s * float64(Second))) }
+
+// FromStd converts a time.Duration to a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+func (d Duration) String() string { return d.Std().String() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a discrete-event simulation executive.  The zero value is
+// ready to use; Schedule events and call Run.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an Engine with its clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events not yet executed.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule registers fn to run at virtual time at.  Scheduling in the
+// past (at < Now) panics: it indicates a bug in a device model, and a
+// silently reordered event would corrupt every downstream measurement.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d after the current virtual time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	e.Schedule(e.now.Add(d), fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp.  It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events in timestamp order until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline.  Events scheduled beyond the deadline remain
+// pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,191 @@
+package simtime
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroEngineUsable(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("scheduled event did not run")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	times := []Time{50, 10, 30, 20, 40, 10}
+	for _, at := range times {
+		at := at
+		e.Schedule(at, func() { order = append(order, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulingFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 15}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(25)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events by t=25, want 2 (%v)", len(ran), ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(ran) != 4 || e.Now() != 100 {
+		t.Fatalf("after final RunUntil: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunUntilDoesNotRewindClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(50, func() {})
+	e.Run()
+	e.RunUntil(10) // deadline earlier than now: clock must not go back
+	if e.Now() != 50 {
+		t.Fatalf("clock rewound to %v", e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+// Property: for any batch of events with random timestamps, execution
+// order is a stable sort by timestamp and the clock never runs backwards.
+func TestPropertyClockMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		e := NewEngine()
+		var observed []Time
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			at := Time(rng.Int64N(1000))
+			e.Schedule(at, func() { observed = append(observed, e.Now()) })
+		}
+		e.Run()
+		if len(observed) != count {
+			return false
+		}
+		for i := 1; i < len(observed); i++ {
+			if observed[i] < observed[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatalf("Seconds() = %v", (2 * Second).Seconds())
+	}
+	if FromStd(3*time.Millisecond) != 3*Millisecond {
+		t.Fatal("FromStd mismatch")
+	}
+	if (5 * Millisecond).Std() != 5*time.Millisecond {
+		t.Fatal("Std mismatch")
+	}
+	if Time(1500000000).Seconds() != 1.5 {
+		t.Fatal("Time.Seconds mismatch")
+	}
+	if Time(10).Add(5) != 15 || Time(10).Sub(4) != 6 {
+		t.Fatal("Add/Sub mismatch")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(rng.Int64N(1_000_000)), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,221 @@
+package srt
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+const sampleSRT = `# comment
+100.000000000 disk0 0 4096 R
+100.000050000 disk0 8192 8192 W
+100.250000000 disk1 512 512 R
+101.000000000 disk0 16384 4096 r
+`
+
+func TestParse(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sampleSRT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(recs))
+	}
+	if recs[0].Op != storage.Read || recs[1].Op != storage.Write {
+		t.Fatal("ops parsed wrong")
+	}
+	if recs[3].Op != storage.Read {
+		t.Fatal("lowercase r not accepted")
+	}
+	if recs[1].StartByte != 8192 || recs[1].Length != 8192 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].Device != "disk1" {
+		t.Fatalf("device = %q", recs[2].Device)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"abc disk0 0 4096 R",    // bad timestamp
+		"1.0 disk0 -5 4096 R",   // negative offset
+		"1.0 disk0 0 0 R",       // zero length
+		"1.0 disk0 0 4096 X",    // bad op
+		"1.0 disk0 0 4096",      // missing field
+		"1.0 disk0 0 4096 R R",  // extra field
+		"-1.0 disk0 0 4096 R",   // negative timestamp
+		"NaN disk0 0 4096 R",    // NaN timestamp
+		"1.0 disk0 zero 4096 R", // bad offset
+		"1.0 disk0 0 many R",    // bad length
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Errorf("Parse accepted %q", line)
+		}
+	}
+}
+
+func TestConvertFiltersAndRebases(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sampleSRT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Convert(recs, ConvertOptions{Device: "disk0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Device != "disk0" {
+		t.Fatalf("Device = %q", tr.Device)
+	}
+	if tr.NumIOs() != 3 {
+		t.Fatalf("NumIOs = %d, want 3 (disk1 filtered)", tr.NumIOs())
+	}
+	if tr.Bunches[0].Time != 0 {
+		t.Fatalf("first bunch at %v, want 0 (rebased)", tr.Bunches[0].Time)
+	}
+	// 101.0 - 100.0 = 1s for the last record
+	if got := tr.Duration(); got != simtime.Second {
+		t.Fatalf("Duration = %v, want 1s", got)
+	}
+}
+
+func TestConvertBunchWindow(t *testing.T) {
+	recs, err := Parse(strings.NewReader(sampleSRT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100.000000 and 100.000050 are 50us apart: with a 100us window they
+	// form one bunch; without, two.
+	tight, err := Convert(recs, ConvertOptions{Device: "disk0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.NumBunches() != 3 {
+		t.Fatalf("no-window bunches = %d, want 3", tight.NumBunches())
+	}
+	wide, err := Convert(recs, ConvertOptions{Device: "disk0", BunchWindow: 100 * simtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumBunches() != 2 {
+		t.Fatalf("windowed bunches = %d, want 2", wide.NumBunches())
+	}
+	if len(wide.Bunches[0].Packages) != 2 {
+		t.Fatalf("first windowed bunch has %d packages, want 2", len(wide.Bunches[0].Packages))
+	}
+}
+
+func TestConvertUnsortedInput(t *testing.T) {
+	recs := []Record{
+		{Timestamp: 5, Device: "d", StartByte: 0, Length: 512, Op: storage.Read},
+		{Timestamp: 1, Device: "d", StartByte: 512, Length: 512, Op: storage.Write},
+		{Timestamp: 3, Device: "d", StartByte: 1024, Length: 512, Op: storage.Read},
+	}
+	tr, err := Convert(recs, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Bunches[0].Packages[0].Op != storage.Write {
+		t.Fatal("records were not time-sorted")
+	}
+	if tr.Duration() != 4*simtime.Second {
+		t.Fatalf("Duration = %v, want 4s", tr.Duration())
+	}
+}
+
+func TestConvertEmpty(t *testing.T) {
+	tr, err := Convert(nil, ConvertOptions{OutputDevice: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumBunches() != 0 || tr.Device != "none" {
+		t.Fatalf("empty convert: %+v", tr)
+	}
+}
+
+func TestWriteRecordsRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Timestamp: 0.5, Device: "d0", StartByte: 4096, Length: 8192, Op: storage.Write},
+		{Timestamp: 1.25, Device: "d1", StartByte: 0, Length: 512, Op: storage.Read},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestConvertStream(t *testing.T) {
+	tr, err := ConvertStream(strings.NewReader(sampleSRT), ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIOs() != 4 {
+		t.Fatalf("NumIOs = %d", tr.NumIOs())
+	}
+	if tr.Device != "srt" {
+		t.Fatalf("default device = %q", tr.Device)
+	}
+}
+
+// Property: conversion preserves IO count, byte volume and read count
+// for arbitrary record sets.
+func TestPropertyConvertPreservesVolume(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		count := int(n % 100)
+		recs := make([]Record, 0, count)
+		var bytesTotal int64
+		reads := 0
+		for i := 0; i < count; i++ {
+			op := storage.Read
+			if rng.IntN(2) == 1 {
+				op = storage.Write
+			} else {
+				reads++
+			}
+			length := 512 * (1 + rng.Int64N(64))
+			bytesTotal += length
+			recs = append(recs, Record{
+				Timestamp: rng.Float64() * 100,
+				Device:    "d",
+				StartByte: 512 * rng.Int64N(1<<20),
+				Length:    length,
+				Op:        op,
+			})
+		}
+		tr, err := Convert(recs, ConvertOptions{BunchWindow: simtime.Millisecond})
+		if err != nil {
+			return false
+		}
+		if tr.NumIOs() != count || tr.TotalBytes() != bytesTotal {
+			return false
+		}
+		gotReads := 0
+		for _, b := range tr.Bunches {
+			for _, p := range b.Packages {
+				if p.Op == storage.Read {
+					gotReads++
+				}
+			}
+		}
+		return gotReads == reads && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/blktrace"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// OLTPParams configure the synthetic OLTP trace.  Several systems in
+// the paper's Table I (PA/PB, DRPM via TPC-C, Hibernator) evaluate on
+// OLTP traces: page-sized random I/O against a large database file,
+// read-mostly with synchronous log writes, and a Zipf-skewed hot set.
+type OLTPParams struct {
+	// Duration is the trace length.
+	Duration simtime.Duration
+	// MeanIOPS is the average transaction-driven arrival rate.
+	MeanIOPS float64
+	// PageBytes is the database page size (default 8 KB).
+	PageBytes int64
+	// ReadRatio is the data-page read fraction (default 0.7).
+	ReadRatio float64
+	// FootprintBytes bounds the database size.
+	FootprintBytes int64
+	// ZipfS is the popularity skew exponent (default 1.1): a small hot
+	// set absorbs most accesses, the property PDC and MAID exploit.
+	ZipfS float64
+	// LogEvery issues one sequential log write per N data accesses.
+	LogEvery int
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+// DefaultOLTP returns a moderate TPC-C-like configuration.
+func DefaultOLTP() OLTPParams {
+	return OLTPParams{
+		Duration:       2 * simtime.Minute,
+		MeanIOPS:       300,
+		PageBytes:      8 << 10,
+		ReadRatio:      0.7,
+		FootprintBytes: 32 << 30,
+		ZipfS:          1.1,
+		LogEvery:       4,
+		Seed:           1,
+	}
+}
+
+// OLTPTrace synthesises the workload: Poisson arrivals of page-sized
+// accesses at Zipf-skewed offsets plus a sequential write-ahead-log
+// stream at the top of the address space.
+func OLTPTrace(p OLTPParams) *blktrace.Trace {
+	d := DefaultOLTP()
+	if p.Duration <= 0 {
+		p.Duration = d.Duration
+	}
+	if p.MeanIOPS <= 0 {
+		p.MeanIOPS = d.MeanIOPS
+	}
+	if p.PageBytes <= 0 {
+		p.PageBytes = d.PageBytes
+	}
+	if p.ReadRatio <= 0 {
+		p.ReadRatio = d.ReadRatio
+	}
+	if p.FootprintBytes <= 0 {
+		p.FootprintBytes = d.FootprintBytes
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = d.ZipfS
+	}
+	if p.LogEvery <= 0 {
+		p.LogEvery = d.LogEvery
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0x01f9))
+	builder := blktrace.NewBuilder("oltp")
+
+	// Reserve the last 1/16th of the footprint for the log.
+	logBase := p.FootprintBytes - p.FootprintBytes/16
+	dataPages := logBase / p.PageBytes
+	zipf := newZipf(rng, p.ZipfS, uint64(dataPages))
+
+	var now simtime.Duration
+	var logNext int64 = logBase
+	accesses := 0
+	for now < p.Duration {
+		now += simtime.FromSeconds(rng.ExpFloat64() / p.MeanIOPS)
+		if now >= p.Duration {
+			break
+		}
+		accesses++
+		if accesses%p.LogEvery == 0 {
+			// Sequential log append; wrap within the log region.
+			if logNext+p.PageBytes > p.FootprintBytes {
+				logNext = logBase
+			}
+			pkg := blktrace.IOPackage{Sector: logNext / storage.SectorSize, Size: p.PageBytes, Op: storage.Write}
+			if err := builder.Record(now, pkg); err != nil {
+				panic(err)
+			}
+			logNext += p.PageBytes
+			continue
+		}
+		page := int64(zipf.next())
+		// Scatter the Zipf ranks over the address space so popular
+		// pages are not physically clustered (tables interleave).
+		page = (page * 2654435761) % dataPages
+		if page < 0 {
+			page += dataPages
+		}
+		op := storage.Write
+		if rng.Float64() < p.ReadRatio {
+			op = storage.Read
+		}
+		pkg := blktrace.IOPackage{Sector: page * p.PageBytes / storage.SectorSize, Size: p.PageBytes, Op: op}
+		if err := builder.Record(now, pkg); err != nil {
+			panic(err)
+		}
+	}
+	return builder.Trace()
+}
+
+// zipf draws ranks with P(k) proportional to 1/k^s using inverse-CDF
+// sampling over a truncated harmonic series.  math/rand/v2 has no Zipf
+// generator, so the repository carries its own (bounded table for the
+// head plus a Pareto tail approximation).
+type zipf struct {
+	rng  *rand.Rand
+	s    float64
+	n    uint64
+	cdf  []float64 // head CDF, first headLen ranks
+	head uint64
+}
+
+func newZipf(rng *rand.Rand, s float64, n uint64) *zipf {
+	if n == 0 {
+		n = 1
+	}
+	head := n
+	if head > 4096 {
+		head = 4096
+	}
+	z := &zipf{rng: rng, s: s, n: n, head: head}
+	var total float64
+	z.cdf = make([]float64, head)
+	for k := uint64(1); k <= head; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		z.cdf[k-1] = total
+	}
+	// Tail mass approximated by the integral of k^-s from head to n.
+	if n > head && s != 1 {
+		tail := (math.Pow(float64(n), 1-s) - math.Pow(float64(head), 1-s)) / (1 - s)
+		total += tail
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z
+}
+
+// next returns a rank in [0, n).
+func (z *zipf) next() uint64 {
+	u := z.rng.Float64()
+	// Binary search the head CDF.
+	lo, hi := 0, len(z.cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(z.cdf) {
+		return uint64(lo)
+	}
+	// Tail: inverse of the integral approximation.
+	if z.n <= z.head {
+		return z.head - 1
+	}
+	frac := z.rng.Float64()
+	a := math.Pow(float64(z.head), 1-z.s)
+	b := math.Pow(float64(z.n), 1-z.s)
+	k := math.Pow(a+frac*(b-a), 1/(1-z.s))
+	rank := uint64(k)
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}

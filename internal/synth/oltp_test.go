@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/storage"
+)
+
+func TestOLTPTraceCharacteristics(t *testing.T) {
+	p := DefaultOLTP()
+	tr := OLTPTrace(p)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := blktrace.ComputeStats(tr)
+	if st.IOs < 10000 {
+		t.Fatalf("only %d IOs", st.IOs)
+	}
+	// Page-sized requests only.
+	for _, b := range tr.Bunches[:100] {
+		for _, pkg := range b.Packages {
+			if pkg.Size != p.PageBytes {
+				t.Fatalf("non-page request: %d bytes", pkg.Size)
+			}
+		}
+	}
+	// Mix: 3/4 data accesses at 70% reads + 1/4 log writes
+	// => overall read ratio ~ 0.75*0.7 = 0.525.
+	if math.Abs(st.ReadRatio-0.525) > 0.04 {
+		t.Fatalf("read ratio %.3f, want ~0.525", st.ReadRatio)
+	}
+	// The write-ahead log appends sequentially within its region (the
+	// global random ratio stays high because log pages interleave with
+	// scattered data pages — per-stream order is what matters).
+	logBase := (p.FootprintBytes - p.FootprintBytes/16) / storage.SectorSize
+	var prev int64 = -1
+	logWrites := 0
+	for _, b := range tr.Bunches {
+		for _, pkg := range b.Packages {
+			if pkg.Op != storage.Write || pkg.Sector < logBase {
+				continue
+			}
+			logWrites++
+			if prev >= 0 && pkg.Sector != prev && pkg.Sector != logBase {
+				t.Fatalf("log write at sector %d, want %d (or wrap)", pkg.Sector, prev)
+			}
+			prev = pkg.Sector + pkg.Size/storage.SectorSize
+		}
+	}
+	if logWrites < st.IOs/6 {
+		t.Fatalf("only %d log writes of %d IOs", logWrites, st.IOs)
+	}
+	if math.Abs(st.MeanIOPS-p.MeanIOPS) > p.MeanIOPS*0.1 {
+		t.Fatalf("mean IOPS %.1f, configured %.0f", st.MeanIOPS, p.MeanIOPS)
+	}
+}
+
+func TestOLTPHotSetSkew(t *testing.T) {
+	p := DefaultOLTP()
+	p.Duration = DefaultOLTP().Duration
+	tr := OLTPTrace(p)
+	// Count accesses per sector; a Zipf workload concentrates a large
+	// share of accesses on a small set of pages.
+	counts := map[int64]int{}
+	total := 0
+	for _, b := range tr.Bunches {
+		for _, pkg := range b.Packages {
+			if pkg.Op == storage.Read { // data reads only (log is sequential)
+				counts[pkg.Sector]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no reads")
+	}
+	// Top 1% of touched pages should hold far more than 1% of accesses.
+	var freqs []int
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	// selection: count accesses with frequency >= 10 as "hot mass"
+	hot := 0
+	for _, c := range freqs {
+		if c >= 10 {
+			hot += c
+		}
+	}
+	if float64(hot)/float64(total) < 0.2 {
+		t.Fatalf("hot mass %.3f too small: Zipf skew missing", float64(hot)/float64(total))
+	}
+}
+
+func TestOLTPDeterministic(t *testing.T) {
+	a := blktrace.ComputeStats(OLTPTrace(DefaultOLTP()))
+	b := blktrace.ComputeStats(OLTPTrace(DefaultOLTP()))
+	if a != b {
+		t.Fatal("OLTP generator not deterministic")
+	}
+}
+
+func TestZipfProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	z := newZipf(rng, 1.1, 100000)
+	counts := make(map[uint64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r := z.next()
+		if r >= 100000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate rank 99 by roughly (100)^1.1 ~ 158; allow a
+	// broad band for sampling noise.
+	if counts[0] < counts[99]*20 {
+		t.Fatalf("skew too weak: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// Monotone-ish head: rank 0 >= rank 10 >= rank 100.
+	if counts[0] < counts[10] || counts[10] < counts[100] {
+		t.Fatalf("head not decreasing: %d, %d, %d", counts[0], counts[10], counts[100])
+	}
+	// Degenerate sizes.
+	z1 := newZipf(rng, 1.5, 0)
+	if r := z1.next(); r != 0 {
+		t.Fatalf("n=0 zipf returned %d", r)
+	}
+	zSmall := newZipf(rng, 1.5, 3)
+	for i := 0; i < 100; i++ {
+		if r := zSmall.next(); r >= 3 {
+			t.Fatalf("small zipf out of range: %d", r)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/disksim"
+	"repro/internal/raid"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+func testArray(t testing.TB) (*simtime.Engine, *raid.Array) {
+	t.Helper()
+	e := simtime.NewEngine()
+	a, err := raid.NewHDDArray(e, raid.DefaultParams(), 6, disksim.Seagate7200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, a
+}
+
+func TestModeValidate(t *testing.T) {
+	good := Mode{RequestBytes: 4096, ReadRatio: 0.5, RandomRatio: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Mode{
+		{RequestBytes: 0, ReadRatio: 0.5, RandomRatio: 0.5},
+		{RequestBytes: 4096, ReadRatio: -0.1, RandomRatio: 0.5},
+		{RequestBytes: 4096, ReadRatio: 0.5, RandomRatio: 1.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mode %+v validated", m)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	m := Mode{RequestBytes: 4096, ReadRatio: 0.25, RandomRatio: 1}
+	if got := m.String(); got != "rs4096_rd25_rn100" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPaperModes(t *testing.T) {
+	modes := PaperModes()
+	if len(modes) != 125 {
+		t.Fatalf("PaperModes = %d, want 125 (5x5x5)", len(modes))
+	}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mode %v invalid: %v", m, err)
+		}
+		if seen[m.String()] {
+			t.Fatalf("duplicate mode %v", m)
+		}
+		seen[m.String()] = true
+	}
+}
+
+func TestCollectProducesPeakTrace(t *testing.T) {
+	e, a := testArray(t)
+	p := CollectParams{
+		Mode:            Mode{RequestBytes: 4096, ReadRatio: 0.5, RandomRatio: 0.5},
+		Duration:        2 * simtime.Second,
+		QueueDepth:      8,
+		WorkingSetBytes: 8 << 30,
+		Seed:            1,
+	}
+	tr, err := Collect(e, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumIOs() < 100 {
+		t.Fatalf("collected only %d IOs in 2s", tr.NumIOs())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := blktrace.ComputeStats(tr)
+	if math.Abs(st.ReadRatio-0.5) > 0.08 {
+		t.Fatalf("read ratio %v, want ~0.5", st.ReadRatio)
+	}
+	if st.AvgRequestBytes != 4096 {
+		t.Fatalf("request size %v, want exactly 4096", st.AvgRequestBytes)
+	}
+	if tr.Duration() > 2*simtime.Second {
+		t.Fatalf("trace extends past duration: %v", tr.Duration())
+	}
+	// First bunch is the initial queue-depth burst.
+	if len(tr.Bunches[0].Packages) != 8 {
+		t.Fatalf("first bunch = %d packages, want queue depth 8", len(tr.Bunches[0].Packages))
+	}
+}
+
+func TestCollectRespectsMode(t *testing.T) {
+	e, a := testArray(t)
+	p := CollectParams{
+		Mode:            Mode{RequestBytes: 64 << 10, ReadRatio: 1.0, RandomRatio: 0.0},
+		Duration:        simtime.Second,
+		QueueDepth:      4,
+		WorkingSetBytes: 8 << 30,
+		Seed:            2,
+	}
+	tr, err := Collect(e, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := blktrace.ComputeStats(tr)
+	if st.ReadRatio != 1.0 {
+		t.Fatalf("read ratio %v, want 1.0", st.ReadRatio)
+	}
+	// Pure sequential stream: nearly everything continues the previous
+	// request (wraps at working-set end are the only discontinuities).
+	if st.RandomRatio > 0.35 {
+		t.Fatalf("random ratio %v too high for sequential mode", st.RandomRatio)
+	}
+}
+
+func TestCollectSequentialFasterThanRandom(t *testing.T) {
+	collect := func(randomRatio float64) int {
+		e, a := testArray(t)
+		p := CollectParams{
+			Mode:            Mode{RequestBytes: 4096, ReadRatio: 1, RandomRatio: randomRatio},
+			Duration:        simtime.Second,
+			QueueDepth:      8,
+			WorkingSetBytes: 16 << 30,
+			Seed:            3,
+		}
+		tr, err := Collect(e, a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.NumIOs()
+	}
+	seq, rnd := collect(0), collect(1)
+	if seq < 3*rnd {
+		t.Fatalf("sequential peak (%d IOs) should be >=3x random peak (%d IOs)", seq, rnd)
+	}
+}
+
+func TestCollectRejectsBadParams(t *testing.T) {
+	e, a := testArray(t)
+	if _, err := Collect(e, a, CollectParams{Mode: Mode{RequestBytes: 0}, Duration: simtime.Second}); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := Collect(e, a, CollectParams{Mode: Mode{RequestBytes: 4096}, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	run := func() int64 {
+		e, a := testArray(t)
+		tr, err := Collect(e, a, CollectParams{
+			Mode: Mode{RequestBytes: 4096, ReadRatio: 0.5, RandomRatio: 0.5}, Duration: simtime.Second, QueueDepth: 4, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.TotalBytes() + int64(tr.NumBunches())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different traces: %d vs %d", a, b)
+	}
+}
+
+func TestWebServerTraceMatchesTableIII(t *testing.T) {
+	p := DefaultWebServer()
+	p.Duration = simtime.Minute
+	tr := WebServerTrace(p)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := blktrace.ComputeStats(tr)
+	if st.IOs < 1000 {
+		t.Fatalf("only %d IOs generated", st.IOs)
+	}
+	if math.Abs(st.ReadRatio-0.9039) > 0.03 {
+		t.Fatalf("read ratio %v, want ~0.9039 (Table III)", st.ReadRatio)
+	}
+	// Mean request size ~21.5 KB within a loose band (lognormal sampling
+	// with clamping biases slightly low).
+	if st.AvgRequestBytes < 12000 || st.AvgRequestBytes > 31000 {
+		t.Fatalf("mean request %v B, want ~21500 (Table III)", st.AvgRequestBytes)
+	}
+}
+
+func TestWebServerTraceHasConcurrencyAndVariedLoad(t *testing.T) {
+	tr := WebServerTrace(DefaultWebServer())
+	st := blktrace.ComputeStats(tr)
+	if st.MaxBunchSize < 2 {
+		t.Fatal("no concurrent bunches generated")
+	}
+	// The diurnal modulation should make per-10s IO counts uneven.
+	buckets := make([]int, int(tr.Duration()/(10*simtime.Second))+1)
+	for _, b := range tr.Bunches {
+		buckets[int(b.Time/(10*simtime.Second))] += len(b.Packages)
+	}
+	min, max := buckets[0], buckets[0]
+	for _, c := range buckets {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < min*11/10 {
+		t.Fatalf("load too flat: min=%d max=%d", min, max)
+	}
+}
+
+func TestCelloTraceCharacteristics(t *testing.T) {
+	p := DefaultCello()
+	tr := CelloTrace(p)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := blktrace.ComputeStats(tr)
+	if math.Abs(st.ReadRatio-0.58) > 0.04 {
+		t.Fatalf("read ratio %v, want ~0.58", st.ReadRatio)
+	}
+	// Uneven request sizes: the size distribution must be truly bimodal,
+	// i.e. contain both <=8KB and >=256KB requests in quantity.
+	var small, large int
+	for _, b := range tr.Bunches {
+		for _, pkg := range b.Packages {
+			if pkg.Size <= 8<<10 {
+				small++
+			}
+			if pkg.Size >= 256<<10 {
+				large++
+			}
+		}
+	}
+	if small < st.IOs/2 || large < st.IOs/50 {
+		t.Fatalf("size mixture wrong: small=%d large=%d of %d", small, large, st.IOs)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := blktrace.ComputeStats(WebServerTrace(DefaultWebServer()))
+	b := blktrace.ComputeStats(WebServerTrace(DefaultWebServer()))
+	if a != b {
+		t.Fatal("web generator not deterministic")
+	}
+	c := blktrace.ComputeStats(CelloTrace(DefaultCello()))
+	d := blktrace.ComputeStats(CelloTrace(DefaultCello()))
+	if c != d {
+		t.Fatal("cello generator not deterministic")
+	}
+}
+
+func TestClampSize(t *testing.T) {
+	if clampSize(100) != storage.SectorSize {
+		t.Fatal("small sizes should clamp to one sector")
+	}
+	if clampSize(3<<20) != 1<<20 {
+		t.Fatal("large sizes should clamp to 1 MB")
+	}
+	if clampSize(5000) != 4608 { // 9 sectors
+		t.Fatalf("alignment: clampSize(5000) = %d", clampSize(5000))
+	}
+}
+
+func BenchmarkCollect4KRandom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, a := testArray(b)
+		_, err := Collect(e, a, CollectParams{
+			Mode:            Mode{RequestBytes: 4096, ReadRatio: 0.5, RandomRatio: 1},
+			Duration:        simtime.Second,
+			QueueDepth:      8,
+			WorkingSetBytes: 8 << 30,
+			Seed:            1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWebServerTrace(b *testing.B) {
+	p := DefaultWebServer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WebServerTrace(p)
+	}
+}

@@ -1,0 +1,186 @@
+// Package thermal adds temperature as an evaluation metric, the first
+// item of the paper's future work (Section VII: "We intend to bring in
+// temperature as new metric of TRACER evaluation framework, as
+// temperature has obvious influences on energy, performance and
+// reliability of storage systems").
+//
+// Each device is modelled as a first-order RC thermal network: its
+// temperature relaxes toward a steady state set by its instantaneous
+// power draw,
+//
+//	T_ss(P) = T_ambient + P * Rth
+//	tau * dT/dt = T_ss(P(t)) - T
+//
+// Because device power is a step function (a powersim.Timeline), the
+// model integrates each constant-power segment exactly with one
+// exponential — no numeric ODE stepping, no drift.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+)
+
+// Model parameterises one device's thermal behaviour.
+type Model struct {
+	// AmbientC is the ambient temperature in Celsius.
+	AmbientC float64
+	// RthCPerW is the thermal resistance: steady-state rise above
+	// ambient per watt dissipated.
+	RthCPerW float64
+	// Tau is the thermal time constant.
+	Tau simtime.Duration
+	// InitialC is the temperature at time zero; zero value means
+	// ambient.
+	InitialC float64
+}
+
+// HDDModel returns parameters typical of a 3.5" enterprise drive in a
+// chassis airflow: ~2.2 C/W above a 25 C ambient with a minutes-scale
+// time constant (a drive idling at 8 W settles near 42-43 C).
+func HDDModel() Model {
+	return Model{AmbientC: 25, RthCPerW: 2.2, Tau: 4 * simtime.Minute}
+}
+
+// SSDModel returns parameters for an SLC SSD: lower dissipation and a
+// faster, smaller package.
+func SSDModel() Model {
+	return Model{AmbientC: 25, RthCPerW: 3.0, Tau: 90 * simtime.Second}
+}
+
+// Validate reports parameter errors.
+func (m Model) Validate() error {
+	if m.RthCPerW <= 0 {
+		return fmt.Errorf("thermal: Rth must be positive, got %v", m.RthCPerW)
+	}
+	if m.Tau <= 0 {
+		return fmt.Errorf("thermal: tau must be positive, got %v", m.Tau)
+	}
+	return nil
+}
+
+// SteadyStateC is the temperature the device settles at under constant
+// power watts.
+func (m Model) SteadyStateC(watts float64) float64 {
+	return m.AmbientC + watts*m.RthCPerW
+}
+
+// initial returns the starting temperature.
+func (m Model) initial() float64 {
+	if m.InitialC != 0 {
+		return m.InitialC
+	}
+	return m.AmbientC
+}
+
+// At computes the exact temperature at time t given the device's power
+// timeline from time zero.
+func (m Model) At(tl *powersim.Timeline, t simtime.Time) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	temp := m.initial()
+	for _, seg := range tl.Segments(0, t) {
+		temp = m.relax(temp, seg.Watts, seg.End.Sub(seg.Start))
+	}
+	return temp, nil
+}
+
+// relax advances temperature through one constant-power span.
+func (m Model) relax(temp, watts float64, dt simtime.Duration) float64 {
+	tss := m.SteadyStateC(watts)
+	alpha := math.Exp(-dt.Seconds() / m.Tau.Seconds())
+	return tss + (temp-tss)*alpha
+}
+
+// Sample is one temperature reading.
+type Sample struct {
+	// Time is the instant of the reading.
+	Time simtime.Time
+	// TempC is the modelled (or sensed) temperature.
+	TempC float64
+}
+
+// Trace samples the temperature every cycle over [t0, t1], starting
+// from the model's initial temperature at time zero.
+func (m Model) Trace(tl *powersim.Timeline, t0, t1 simtime.Time, cycle simtime.Duration) ([]Sample, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if cycle <= 0 {
+		cycle = simtime.Second
+	}
+	// Advance exactly to t0 first.
+	temp := m.initial()
+	cursor := simtime.Time(0)
+	advance := func(to simtime.Time) {
+		for _, seg := range tl.Segments(cursor, to) {
+			temp = m.relax(temp, seg.Watts, seg.End.Sub(seg.Start))
+		}
+		cursor = to
+	}
+	advance(t0)
+	var out []Sample
+	for t := t0; t <= t1; t = t.Add(cycle) {
+		advance(t)
+		out = append(out, Sample{Time: t, TempC: temp})
+	}
+	return out, nil
+}
+
+// MaxC returns the hottest sample.
+func MaxC(samples []Sample) float64 {
+	max := math.Inf(-1)
+	for _, s := range samples {
+		if s.TempC > max {
+			max = s.TempC
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// MeanC returns the average sampled temperature.
+func MeanC(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s.TempC
+	}
+	return sum / float64(len(samples))
+}
+
+// Sensor wraps a model with read noise, mirroring the power meter: a
+// thermocouple reports the modelled temperature plus Gaussian error.
+type Sensor struct {
+	// Model is the underlying thermal model.
+	Model Model
+	// NoiseC is the 1-sigma absolute read noise in Celsius.
+	NoiseC float64
+	// Seed makes the noise stream reproducible.
+	Seed uint64
+}
+
+// Read samples like Model.Trace with sensor noise applied.
+func (s Sensor) Read(tl *powersim.Timeline, t0, t1 simtime.Time, cycle simtime.Duration) ([]Sample, error) {
+	samples, err := s.Model.Trace(tl, t0, t1, cycle)
+	if err != nil {
+		return nil, err
+	}
+	if s.NoiseC <= 0 {
+		return samples, nil
+	}
+	rng := rand.New(rand.NewPCG(s.Seed, 0x7e39))
+	for i := range samples {
+		samples[i].TempC += rng.NormFloat64() * s.NoiseC
+	}
+	return samples, nil
+}

@@ -1,0 +1,213 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/powersim"
+	"repro/internal/simtime"
+)
+
+const sec = simtime.Second
+
+func TestValidate(t *testing.T) {
+	if err := HDDModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Model{RthCPerW: 0, Tau: sec}).Validate(); err == nil {
+		t.Fatal("zero Rth accepted")
+	}
+	if err := (Model{RthCPerW: 1, Tau: 0}).Validate(); err == nil {
+		t.Fatal("zero tau accepted")
+	}
+}
+
+func TestSteadyState(t *testing.T) {
+	m := Model{AmbientC: 25, RthCPerW: 2.2, Tau: simtime.Minute}
+	if got := m.SteadyStateC(8); math.Abs(got-42.6) > 1e-9 {
+		t.Fatalf("SteadyStateC(8) = %v", got)
+	}
+	if got := m.SteadyStateC(0); got != 25 {
+		t.Fatalf("zero power steady state = %v", got)
+	}
+}
+
+func TestConstantPowerConvergesToSteadyState(t *testing.T) {
+	m := Model{AmbientC: 25, RthCPerW: 2, Tau: 10 * sec}
+	tl := powersim.NewTimeline(10) // steady state 45 C
+	// After 10 time constants the temperature is within a hair of T_ss.
+	got, err := m.At(tl, simtime.Time(100*sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-45) > 0.01 {
+		t.Fatalf("T(100s) = %v, want ~45", got)
+	}
+	// One time constant reaches 63.2% of the rise.
+	mid, err := m.At(tl, simtime.Time(10*sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 25 + 20*(1-math.Exp(-1))
+	if math.Abs(mid-want) > 1e-6 {
+		t.Fatalf("T(tau) = %v, want %v", mid, want)
+	}
+}
+
+func TestStepPowerRisesAndFalls(t *testing.T) {
+	m := Model{AmbientC: 25, RthCPerW: 2, Tau: 5 * sec}
+	tl := powersim.NewTimeline(5)    // 35 C steady
+	tl.Set(simtime.Time(60*sec), 15) // jump to 55 C steady
+	tl.Set(simtime.Time(120*sec), 5) // back down
+	samples, err := m.Trace(tl, 0, simtime.Time(240*sec), simtime.Duration(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(s simtime.Time) float64 {
+		for _, sm := range samples {
+			if sm.Time == s {
+				return sm.TempC
+			}
+		}
+		t.Fatalf("no sample at %v", s)
+		return 0
+	}
+	if v := at(simtime.Time(59 * sec)); math.Abs(v-35) > 0.1 {
+		t.Fatalf("pre-step temp %v, want ~35", v)
+	}
+	if v := at(simtime.Time(119 * sec)); math.Abs(v-55) > 0.1 {
+		t.Fatalf("hot steady temp %v, want ~55", v)
+	}
+	if v := at(simtime.Time(239 * sec)); math.Abs(v-35) > 0.1 {
+		t.Fatalf("cooled temp %v, want ~35", v)
+	}
+	// Monotone rise during the hot phase.
+	prev := at(simtime.Time(61 * sec))
+	for s := simtime.Time(62 * sec); s <= simtime.Time(119*sec); s += simtime.Time(10 * sec) {
+		cur := at(s)
+		if cur < prev-1e-9 {
+			t.Fatalf("temperature fell during heating at %v", s)
+		}
+		prev = cur
+	}
+	if MaxC(samples) > 55.01 {
+		t.Fatalf("MaxC = %v exceeds hot steady state", MaxC(samples))
+	}
+	if mean := MeanC(samples); mean <= 35 || mean >= 55 {
+		t.Fatalf("MeanC = %v out of band", mean)
+	}
+}
+
+func TestTraceWindowing(t *testing.T) {
+	m := Model{AmbientC: 20, RthCPerW: 1, Tau: sec}
+	tl := powersim.NewTimeline(10)
+	// Sampling a late window must account for earlier heating.
+	samples, err := m.Trace(tl, simtime.Time(30*sec), simtime.Time(35*sec), simtime.Duration(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if math.Abs(samples[0].TempC-30) > 0.01 {
+		t.Fatalf("window start temp %v, want ~steady 30", samples[0].TempC)
+	}
+}
+
+func TestInitialTemperature(t *testing.T) {
+	m := Model{AmbientC: 25, RthCPerW: 2, Tau: 10 * sec, InitialC: 60}
+	tl := powersim.NewTimeline(0) // steady state = ambient
+	got, err := m.At(tl, simtime.Time(100*sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-25) > 0.01 {
+		t.Fatalf("hot start should cool to ambient, got %v", got)
+	}
+	early, err := m.At(tl, simtime.Time(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early < 25 || early > 60 {
+		t.Fatalf("cooling trajectory out of range: %v", early)
+	}
+}
+
+func TestSensorNoise(t *testing.T) {
+	tl := powersim.NewTimeline(8)
+	s := Sensor{Model: HDDModel(), NoiseC: 0.5, Seed: 3}
+	a, err := s.Read(tl, 0, simtime.Time(100*sec), simtime.Duration(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Read(tl, 0, simtime.Time(100*sec), simtime.Duration(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := s.Model.Trace(tl, 0, simtime.Time(100*sec), simtime.Duration(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var differs bool
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different readings")
+		}
+		if a[i] != clean[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("noise had no effect")
+	}
+	// Unbiased: mean error small over 100 samples.
+	if math.Abs(MeanC(a)-MeanC(clean)) > 0.3 {
+		t.Fatalf("noise biased the mean: %v vs %v", MeanC(a), MeanC(clean))
+	}
+	noNoise := Sensor{Model: HDDModel()}
+	c, err := noNoise.Read(tl, 0, simtime.Time(10*sec), simtime.Duration(sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean10, _ := HDDModel().Trace(tl, 0, simtime.Time(10*sec), simtime.Duration(sec))
+	for i := range c {
+		if c[i] != clean10[i] {
+			t.Fatal("zero-noise sensor altered samples")
+		}
+	}
+}
+
+// Property: temperature always lies between ambient (or the initial
+// value) and the steady state of the maximum power ever applied.
+func TestPropertyTemperatureBounded(t *testing.T) {
+	f := func(powers []uint8, tSecRaw uint8) bool {
+		m := Model{AmbientC: 25, RthCPerW: 2, Tau: 5 * sec}
+		tl := powersim.NewTimeline(float64(len(powers)%10) + 1)
+		maxP := tl.At(0)
+		cursor := simtime.Time(0)
+		for _, p := range powers {
+			cursor = cursor.Add(simtime.Duration(1+int64(p%50)) * sec)
+			w := float64(p%20) + 1
+			tl.Set(cursor, w)
+			if w > maxP {
+				maxP = w
+			}
+		}
+		at := simtime.Time(1+int64(tSecRaw)) * simtime.Time(sec)
+		got, err := m.At(tl, at)
+		if err != nil {
+			return false
+		}
+		return got >= m.AmbientC-1e-9 && got <= m.SteadyStateC(maxP)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMeanEmpty(t *testing.T) {
+	if MaxC(nil) != 0 || MeanC(nil) != 0 {
+		t.Fatal("empty sample helpers should return 0")
+	}
+}
