@@ -10,7 +10,9 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/synth"
@@ -329,3 +331,32 @@ func BenchmarkModeSweepSingle(b *testing.B) {
 }
 
 var sweepMode = synth.Mode{RequestBytes: 16 << 10, ReadRatio: 0.5, RandomRatio: 0.5}
+
+// BenchmarkParallelSweep measures the parsweep fan-out end to end: the
+// same sweep cell as BenchmarkModeSweepSingle, but with its 10 load
+// replays spread across all cores (Workers: 0).  The custom metrics
+// report the wall-clock speedup over the sweep forced sequential
+// (Workers: 1) and the core count it was achieved on; determinism of
+// the parallel path is covered by internal/experiments' regression
+// tests.
+func BenchmarkParallelSweep(b *testing.B) {
+	seqCfg := benchConfig()
+	seqCfg.Workers = 1
+	start := time.Now()
+	if _, err := experiments.ModeSweep(seqCfg, experiments.HDDArray, sweepMode); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(start)
+
+	parCfg := benchConfig()
+	parCfg.Workers = 0 // all cores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ModeSweep(parCfg, experiments.HDDArray, sweepMode); err != nil {
+			b.Fatal(err)
+		}
+	}
+	par := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+}

@@ -4,13 +4,19 @@
 // Usage:
 //
 //	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep]
-//	             [-duration D] [-outdir DIR]
+//	             [-duration D] [-outdir DIR] [-workers N]
+//
+// Independent simulation cells (one fresh engine + array per cell) fan
+// out across -workers goroutines; results are deterministic at any
+// worker count.  -workers 0 uses all cores, -workers 1 runs the old
+// sequential path.
 //
 // With -outdir, each experiment also lands in its own .txt file so the
 // run is diffable against EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,7 +25,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/blktrace"
 	"repro/internal/experiments"
+	"repro/internal/parsweep"
 	"repro/internal/simtime"
 	"repro/internal/synth"
 )
@@ -187,32 +195,50 @@ var table = []experiment{
 // runSweep is the scaled 125-trace sweep of Section VI step 1: by
 // default it samples a 3x3x3 mode grid at 4 load levels; -duration and
 // editing the grid scale it up to the paper's full 1250 runs.
+//
+// The sweep runs in two parallel phases: every mode's peak trace is
+// collected first, then the whole (trace, load) grid is flattened into
+// one cell list and fanned across the worker pool.  Output order is
+// identical to the old nested sequential loops.
 func runSweep(cfg experiments.Config, w io.Writer) error {
 	sizes := []int64{4 << 10, 64 << 10, 1 << 20}
 	ratios := []float64{0, 0.5, 1}
 	loads := []float64{0.25, 0.5, 0.75, 1.0}
-	fmt.Fprintln(w, "mode\tload%\tIOPS\tMBPS\twatts\tIOPS/W\tMBPS/kW")
-	runs := 0
+	var modes []synth.Mode
 	for _, size := range sizes {
 		for _, rd := range ratios {
 			for _, rn := range ratios {
-				mode := synth.Mode{RequestBytes: size, ReadRatio: rd, RandomRatio: rn}
-				sweepCfg := cfg
-				sweepCfg.Loads = loads
-				rows, err := experiments.ModeSweep(sweepCfg, experiments.HDDArray, mode)
-				if err != nil {
-					return fmt.Errorf("sweep %s: %w", mode, err)
-				}
-				for _, m := range rows {
-					fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.3f\t%.1f\t%.3f\t%.2f\n",
-						mode, m.Load*100, m.Result.IOPS, m.Result.MBPS, m.Power,
-						m.Eff.IOPSPerWatt, m.Eff.MBPSPerKW)
-					runs++
-				}
+				modes = append(modes, synth.Mode{RequestBytes: size, ReadRatio: rd, RandomRatio: rn})
 			}
 		}
 	}
-	fmt.Fprintf(w, "%d runs (paper's full grid: 125 modes x 10 loads = 1250)\n", runs)
+	opts := parsweep.Options{Workers: cfg.Workers}
+	opts.Label = func(i int) string { return fmt.Sprintf("collect %s", modes[i]) }
+	traces, err := parsweep.Map(context.Background(), opts, len(modes),
+		func(i int) (*blktrace.Trace, error) {
+			return experiments.CollectModeTrace(cfg, experiments.HDDArray, modes[i])
+		})
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+
+	nLoads := len(loads)
+	opts.Label = func(i int) string { return fmt.Sprintf("%s load %v", modes[i/nLoads], loads[i%nLoads]) }
+	cells, err := parsweep.Map(context.Background(), opts, len(modes)*nLoads,
+		func(i int) (*experiments.Measurement, error) {
+			return experiments.MeasureAtLoad(cfg, experiments.HDDArray, traces[i/nLoads], loads[i%nLoads])
+		})
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+
+	fmt.Fprintln(w, "mode\tload%\tIOPS\tMBPS\twatts\tIOPS/W\tMBPS/kW")
+	for i, m := range cells {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.3f\t%.1f\t%.3f\t%.2f\n",
+			modes[i/nLoads], m.Load*100, m.Result.IOPS, m.Result.MBPS, m.Power,
+			m.Eff.IOPSPerWatt, m.Eff.MBPSPerKW)
+	}
+	fmt.Fprintf(w, "%d runs (paper's full grid: 125 modes x 10 loads = 1250)\n", len(cells))
 	return nil
 }
 
@@ -221,6 +247,7 @@ func run(args []string, out io.Writer) error {
 	names := fs.String("run", "all", "comma-separated experiment names or 'all'")
 	duration := fs.Duration("duration", 2*time.Second, "per-trace collection duration (virtual time)")
 	outdir := fs.String("outdir", "", "also write one .txt per experiment into this directory")
+	workers := fs.Int("workers", 0, "parallel simulation cells (0 = all cores, 1 = sequential)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -233,6 +260,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := experiments.DefaultConfig()
 	cfg.CollectDuration = simtime.FromStd(*duration)
+	cfg.Workers = *workers
 
 	want := map[string]bool{}
 	all := *names == "all"

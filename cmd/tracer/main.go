@@ -6,11 +6,11 @@
 //
 // Usage:
 //
-//	tracer collect   -repo DIR [-device hdd|ssd] [-size N] [-read F] [-random F] [-duration D] [-qd N] [-all]
+//	tracer collect   -repo DIR [-device hdd|ssd] [-size N] [-read F] [-random F] [-duration D] [-qd N] [-all] [-workers N]
 //	tracer gen-real  -repo DIR [-device hdd|ssd] -kind web|cello|oltp
 //	tracer repo      -repo DIR
 //	tracer stats     -repo DIR -trace NAME
-//	tracer test      -repo DIR -trace NAME [-device hdd|ssd] [-loads 10,50,100] [-db FILE]
+//	tracer test      -repo DIR -trace NAME [-device hdd|ssd] [-loads 10,50,100] [-db FILE] [-workers N]
 //	tracer query     [-db FILE] [-device NAME] [-minload F] [-maxload F]
 //	tracer convert   -in FILE.srt -out FILE.replay [-srcdev NAME] [-window D]
 //	tracer slice     -repo DIR -trace NAME -to D [-from D]
@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/host"
 	"repro/internal/metrics"
+	"repro/internal/parsweep"
 	"repro/internal/powersim"
 	"repro/internal/replay"
 	"repro/internal/repository"
@@ -101,6 +103,7 @@ func cmdCollect(args []string, out io.Writer) error {
 	qd := fs.Int("qd", 8, "outstanding IOs (queue depth)")
 	all := fs.Bool("all", false, "collect the paper's full 125-mode sweep")
 	seed := fs.Uint64("seed", 1, "generator seed")
+	workers := fs.Int("workers", 0, "parallel collection cells (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,22 +121,34 @@ func cmdCollect(args []string, out io.Writer) error {
 	}
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
-	for _, mode := range modes {
-		e, a, err := experiments.NewSystem(cfg, kind)
-		if err != nil {
-			return err
-		}
-		tr, err := synth.Collect(e, a, synth.CollectParams{
-			Mode:            mode,
-			Duration:        simtime.FromStd(*duration),
-			QueueDepth:      *qd,
-			WorkingSetBytes: cfg.WorkingSet,
-			Seed:            *seed,
+	cfg.Workers = *workers
+	// Collection cells (one fresh array each) fan across the worker
+	// pool — the -all sweep is 125 modes; storing stays sequential so
+	// repository writes and output order are untouched.
+	traces, err := parsweep.Map(context.Background(),
+		parsweep.Options{
+			Workers: cfg.Workers,
+			Label:   func(i int) string { return fmt.Sprintf("collect %s", modes[i]) },
+		},
+		len(modes),
+		func(i int) (*blktrace.Trace, error) {
+			e, a, err := experiments.NewSystem(cfg, kind)
+			if err != nil {
+				return nil, err
+			}
+			return synth.Collect(e, a, synth.CollectParams{
+				Mode:            modes[i],
+				Duration:        simtime.FromStd(*duration),
+				QueueDepth:      *qd,
+				WorkingSetBytes: cfg.WorkingSet,
+				Seed:            *seed,
+			})
 		})
-		if err != nil {
-			return fmt.Errorf("collect %s: %w", mode, err)
-		}
-		entry, err := repo.StoreSynthetic(kind.String(), mode, tr)
+	if err != nil {
+		return err
+	}
+	for i, tr := range traces {
+		entry, err := repo.StoreSynthetic(kind.String(), modes[i], tr)
 		if err != nil {
 			return err
 		}
@@ -278,6 +293,7 @@ func cmdTest(args []string, out io.Writer) error {
 	loadsStr := fs.String("loads", "100", "comma-separated load percentages (e.g. 10,50,100)")
 	dbPath := fs.String("db", "", "results database file (JSON); empty disables persistence")
 	cycle := fs.Duration("cycle", 1_000_000_000, "sampling cycle")
+	workers := fs.Int("workers", 0, "parallel load-level replays (0 = all cores, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -307,20 +323,48 @@ func cmdTest(args []string, out io.Writer) error {
 		}
 	}
 	cfg := experiments.DefaultConfig()
+	cfg.Workers = *workers
+
+	// Each load level replays on its own fresh array: fan the levels
+	// across the worker pool, then print and persist in input order.
+	type cell struct {
+		res     *replay.Result
+		samples []powersim.Sample
+		watts   float64
+		eff     metrics.Efficiency
+	}
+	cells, err := parsweep.Map(context.Background(),
+		parsweep.Options{
+			Workers: cfg.Workers,
+			Label:   func(i int) string { return fmt.Sprintf("load %v", loads[i]) },
+		},
+		len(loads),
+		func(i int) (cell, error) {
+			e, a, err := experiments.NewSystem(cfg, kind)
+			if err != nil {
+				return cell{}, err
+			}
+			res, err := replay.ReplayAtLoad(e, a, tr, loads[i], replay.Options{SamplingCycle: simtime.FromStd(*cycle)})
+			if err != nil {
+				return cell{}, err
+			}
+			meter := powersim.DefaultMeter(a.PowerSource())
+			samples := meter.Measure(res.Start, res.End)
+			watts := powersim.MeanWatts(samples)
+			return cell{
+				res:     res,
+				samples: samples,
+				watts:   watts,
+				eff:     metrics.NewEfficiency(res.IOPS, res.MBPS, watts, powersim.EnergyJ(samples)),
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(out, "load%\tIOPS\tMBPS\tresp(ms)\twatts\tIOPS/W\tMBPS/kW")
-	for _, load := range loads {
-		e, a, err := experiments.NewSystem(cfg, kind)
-		if err != nil {
-			return err
-		}
-		res, err := replay.ReplayAtLoad(e, a, tr, load, replay.Options{SamplingCycle: simtime.FromStd(*cycle)})
-		if err != nil {
-			return err
-		}
-		meter := powersim.DefaultMeter(a.PowerSource())
-		samples := meter.Measure(res.Start, res.End)
-		watts := powersim.MeanWatts(samples)
-		eff := metrics.NewEfficiency(res.IOPS, res.MBPS, watts, powersim.EnergyJ(samples))
+	for i, load := range loads {
+		res, samples, watts, eff := cells[i].res, cells[i].samples, cells[i].watts, cells[i].eff
 		fmt.Fprintf(out, "%.0f\t%.1f\t%.3f\t%.2f\t%.1f\t%.3f\t%.2f\n",
 			load*100, res.IOPS, res.MBPS, res.MeanResponse.Seconds()*1000, watts, eff.IOPSPerWatt, eff.MBPSPerKW)
 		if db != nil {

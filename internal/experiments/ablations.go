@@ -86,18 +86,16 @@ func CompareFilters(cfg Config, load float64) (*FilterComparison, error) {
 	res.UniformShapeErr = shapeError(trace, uniform.Apply(trace), load, replay.DefaultGroupSize)
 	res.RandomShapeErr = shapeError(trace, random.Apply(trace), load, replay.DefaultGroupSize)
 
-	full, err := measureAtLoad(cfg, HDDArray, trace, 1.0)
+	// The three replays (full-load reference, uniform, random) are
+	// independent cells on fresh arrays.
+	filters := []replay.Filter{replay.UniformFilter{Proportion: 1.0}, uniform, random}
+	ms, err := pmap(cfg, len(filters),
+		func(i int) string { return filters[i].Name() },
+		func(i int) (*Measurement, error) { return measureReplay(cfg, HDDArray, trace, filters[i]) })
 	if err != nil {
 		return nil, err
 	}
-	mu, err := measureReplay(cfg, HDDArray, trace, uniform)
-	if err != nil {
-		return nil, err
-	}
-	mr, err := measureReplay(cfg, HDDArray, trace, random)
-	if err != nil {
-		return nil, err
-	}
+	full, mu, mr := ms[0], ms[1], ms[2]
 	res.UniformAccErr = metrics.ErrorRate(metrics.Accuracy(metrics.LoadProportion(full.Result.IOPS, mu.Result.IOPS), load))
 	res.RandomAccErr = metrics.ErrorRate(metrics.Accuracy(metrics.LoadProportion(full.Result.IOPS, mr.Result.IOPS), load))
 	return res, nil
@@ -131,18 +129,30 @@ func GroupSizeSweep(cfg Config) (*GroupSizeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	full, err := measureAtLoad(cfg, HDDArray, trace, 1.0)
+	// Flatten the full-load reference plus the (G, load) grid into one
+	// cell list: cell 0 is the reference, the rest are grid cells.
+	groups := []int{5, 10, 20}
+	loads := []float64{0.2, 0.4, 0.6, 0.8}
+	nLoads := len(loads)
+	filters := make([]replay.UniformFilter, 0, 1+len(groups)*nLoads)
+	filters = append(filters, replay.UniformFilter{Proportion: 1.0})
+	for _, g := range groups {
+		for _, load := range loads {
+			filters = append(filters, replay.UniformFilter{Proportion: load, GroupSize: g})
+		}
+	}
+	ms, err := pmap(cfg, len(filters),
+		func(i int) string { return fmt.Sprintf("G=%d %s", filters[i].GroupSize, filters[i].Name()) },
+		func(i int) (*Measurement, error) { return measureReplay(cfg, HDDArray, trace, filters[i]) })
 	if err != nil {
 		return nil, err
 	}
+	full, grid := ms[0], ms[1:]
 	res := &GroupSizeResult{}
-	for _, g := range []int{5, 10, 20} {
+	for gi, g := range groups {
 		var maxErr float64
-		for _, load := range []float64{0.2, 0.4, 0.6, 0.8} {
-			m, err := measureReplay(cfg, HDDArray, trace, replay.UniformFilter{Proportion: load, GroupSize: g})
-			if err != nil {
-				return nil, err
-			}
+		for li, load := range loads {
+			m := grid[gi*nLoads+li]
 			e := metrics.ErrorRate(metrics.Accuracy(metrics.LoadProportion(full.Result.IOPS, m.Result.IOPS), load))
 			if e > maxErr {
 				maxErr = e
@@ -185,18 +195,18 @@ func CompareScaler(cfg Config, load float64) (*ScalerComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	full, err := measureAtLoad(cfg, HDDArray, trace, 1.0)
+	filters := []replay.Filter{
+		replay.UniformFilter{Proportion: 1.0},
+		replay.UniformFilter{Proportion: load},
+		replay.IntervalScaler{Intensity: load},
+	}
+	ms, err := pmap(cfg, len(filters),
+		func(i int) string { return filters[i].Name() },
+		func(i int) (*Measurement, error) { return measureReplay(cfg, HDDArray, trace, filters[i]) })
 	if err != nil {
 		return nil, err
 	}
-	mf, err := measureReplay(cfg, HDDArray, trace, replay.UniformFilter{Proportion: load})
-	if err != nil {
-		return nil, err
-	}
-	msc, err := measureReplay(cfg, HDDArray, trace, replay.IntervalScaler{Intensity: load})
-	if err != nil {
-		return nil, err
-	}
+	full, mf, msc := ms[0], ms[1], ms[2]
 	return &ScalerComparison{
 		Load:       load,
 		FilterIOPS: mf.Result.IOPS,
@@ -233,34 +243,40 @@ type WritePathRow struct {
 // stripe boundary (strip 128 KB x 5 data disks = 640 KB full stripe).
 func WritePathStudy(cfg Config) (*WritePathResult, error) {
 	cfg = cfg.normalize()
-	res := &WritePathResult{}
-	for _, size := range []int64{4 << 10, 128 << 10, 640 << 10} {
-		mode := synth.Mode{RequestBytes: size, ReadRatio: 0, RandomRatio: 0}
-		trace, err := collectTrace(cfg, HDDArray, mode)
-		if err != nil {
-			return nil, err
-		}
-		e, a, err := newSystem(cfg, HDDArray)
-		if err != nil {
-			return nil, err
-		}
-		r, err := replay.Replay(e, a, trace, replay.Options{})
-		if err != nil {
-			return nil, err
-		}
-		st := a.Stats()
-		total := st.FullStripeWrites + st.RMWStripes
-		row := WritePathRow{RequestBytes: size}
-		if total > 0 {
-			row.FullStripeFrac = float64(st.FullStripeWrites) / float64(total)
-		}
-		if st.Writes > 0 {
-			row.DiskWritesPerReq = float64(st.DiskWrites) / float64(st.Writes)
-		}
-		row.Eff = metrics.NewEfficiency(r.IOPS, r.MBPS, a.PowerSource().MeanWatts(r.Start, r.End), 0)
-		res.Rows = append(res.Rows, row)
+	sizes := []int64{4 << 10, 128 << 10, 640 << 10}
+	rows, err := pmap(cfg, len(sizes),
+		func(i int) string { return sizeLabel(sizes[i]) },
+		func(i int) (WritePathRow, error) {
+			size := sizes[i]
+			mode := synth.Mode{RequestBytes: size, ReadRatio: 0, RandomRatio: 0}
+			trace, err := collectTrace(cfg, HDDArray, mode)
+			if err != nil {
+				return WritePathRow{}, err
+			}
+			e, a, err := newSystem(cfg, HDDArray)
+			if err != nil {
+				return WritePathRow{}, err
+			}
+			r, err := replay.Replay(e, a, trace, replay.Options{})
+			if err != nil {
+				return WritePathRow{}, err
+			}
+			st := a.Stats()
+			total := st.FullStripeWrites + st.RMWStripes
+			row := WritePathRow{RequestBytes: size}
+			if total > 0 {
+				row.FullStripeFrac = float64(st.FullStripeWrites) / float64(total)
+			}
+			if st.Writes > 0 {
+				row.DiskWritesPerReq = float64(st.DiskWrites) / float64(st.Writes)
+			}
+			row.Eff = metrics.NewEfficiency(r.IOPS, r.MBPS, a.PowerSource().MeanWatts(r.Start, r.End), 0)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &WritePathResult{Rows: rows}, nil
 }
 
 // RenderWritePathStudy prints the study.

@@ -56,24 +56,34 @@ func ConservationStudy(cfg Config) (*ConservationResult, error) {
 	wp.FootprintBytes = 4 << 20 // hot 4 MB: fully cacheable
 	trace := synth.WebServerTrace(wp)
 
-	res := &ConservationResult{}
+	// Flatten technique x load into one parallel cell list; energy
+	// savings relative to the always-on baseline are derived in a
+	// sequential post-pass so the parallel cells stay independent.
+	techniques := []string{"always-on", "tpm", "drpm", "pdc", "maid"}
 	loads := []float64{0.1, 0.5, 1.0}
-	baseline := map[float64]float64{}
-	for _, technique := range []string{"always-on", "tpm", "drpm", "pdc", "maid"} {
-		for _, load := range loads {
+	nLoads := len(loads)
+	type cell struct {
+		row     ConservationRow
+		hitRate float64
+		hasHit  bool
+	}
+	cells, err := pmap(cfg, len(techniques)*nLoads,
+		func(i int) string { return fmt.Sprintf("%s load %v", techniques[i/nLoads], loads[i%nLoads]) },
+		func(i int) (cell, error) {
+			technique, load := techniques[i/nLoads], loads[i%nLoads]
 			engine := simtime.NewEngine()
 			dev, src, maid, err := buildConservation(engine, technique)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			r, err := replay.ReplayAtLoad(engine, dev, trace, load, replay.Options{})
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			meter := powersim.DefaultMeter(src)
 			meter.Seed = cfg.Seed
 			samples := meter.Measure(r.Start, r.End)
-			row := ConservationRow{
+			c := cell{row: ConservationRow{
 				Technique:      technique,
 				Load:           load,
 				EnergyJ:        powersim.EnergyJ(samples),
@@ -81,19 +91,32 @@ func ConservationStudy(cfg Config) (*ConservationResult, error) {
 				MeanResponseMs: r.MeanResponse.Seconds() * 1000,
 				MaxResponseMs:  r.MaxResponse.Seconds() * 1000,
 				IOPS:           r.IOPS,
-			}
-			if technique == "always-on" {
-				baseline[load] = row.EnergyJ
-			} else if b := baseline[load]; b > 0 {
-				row.SavingsPct = (1 - row.EnergyJ/b) * 100
-			}
-			res.Rows = append(res.Rows, row)
+			}}
 			if maid != nil && load == 1.0 {
 				st := maid.Stats()
 				if total := st.ReadHits + st.ReadMisses; total > 0 {
-					res.CacheHitRate = float64(st.ReadHits) / float64(total)
+					c.hitRate = float64(st.ReadHits) / float64(total)
+					c.hasHit = true
 				}
 			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ConservationResult{}
+	baseline := map[float64]float64{}
+	for _, c := range cells {
+		row := c.row
+		if row.Technique == "always-on" {
+			baseline[row.Load] = row.EnergyJ
+		} else if b := baseline[row.Load]; b > 0 {
+			row.SavingsPct = (1 - row.EnergyJ/b) * 100
+		}
+		res.Rows = append(res.Rows, row)
+		if c.hasHit {
+			res.CacheHitRate = c.hitRate
 		}
 	}
 	return res, nil

@@ -42,56 +42,73 @@ func ERAIDStudy(cfg Config) (*ERAIDResult, error) {
 	wp.FootprintBytes = 1 << 30
 	trace := synth.WebServerTrace(wp)
 
+	// Both configurations replay in parallel cells; the eRAID cell also
+	// carries back its reconstruction counters, and savings relative to
+	// always-on are derived afterwards.
+	configs := []string{"always-on", "eraid"}
+	type cell struct {
+		row                        ERAIDRow
+		reconstructReads, offlines int64
+	}
+	cells, err := pmap(cfg, len(configs),
+		func(i int) string { return configs[i] },
+		func(i int) (cell, error) {
+			config := configs[i]
+			engine := simtime.NewEngine()
+			var src powersim.Source
+			var c cell
+			var r *replay.Result
+			if config == "always-on" {
+				e2, array, err := newSystem(cfg, HDDArray)
+				if err != nil {
+					return cell{}, err
+				}
+				engine = e2
+				src = array.PowerSource()
+				if r, err = replay.ReplayAtLoad(engine, array, trace, 1.0, replay.Options{}); err != nil {
+					return cell{}, err
+				}
+			} else {
+				arr, err := conserve.NewERAIDArray(engine, conserve.DefaultERAIDParams())
+				if err != nil {
+					return cell{}, err
+				}
+				src = arr.PowerSource()
+				if r, err = replay.ReplayAtLoad(engine, arr, trace, 1.0, replay.Options{}); err != nil {
+					return cell{}, err
+				}
+				c.reconstructReads = arr.Array().Stats().ReconstructReads
+				c.offlines = arr.Stats().Offlines
+			}
+			meter := powersim.DefaultMeter(src)
+			meter.Seed = cfg.Seed
+			samples := meter.Measure(r.Start, r.End)
+			c.row = ERAIDRow{
+				Config:         config,
+				EnergyJ:        powersim.EnergyJ(samples),
+				MeanWatts:      powersim.MeanWatts(samples),
+				MeanResponseMs: r.MeanResponse.Seconds() * 1000,
+				P99Ms:          r.P99Response.Seconds() * 1000,
+				IOPS:           r.IOPS,
+			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &ERAIDResult{}
 	var baseJ float64
-	for _, config := range []string{"always-on", "eraid"} {
-		engine := simtime.NewEngine()
-		var src powersim.Source
-		var run func() (*replay.Result, error)
-		if config == "always-on" {
-			e2, array, err := newSystem(cfg, HDDArray)
-			if err != nil {
-				return nil, err
-			}
-			engine = e2
-			src = array.PowerSource()
-			run = func() (*replay.Result, error) {
-				return replay.ReplayAtLoad(engine, array, trace, 1.0, replay.Options{})
-			}
-		} else {
-			arr, err := conserve.NewERAIDArray(engine, conserve.DefaultERAIDParams())
-			if err != nil {
-				return nil, err
-			}
-			src = arr.PowerSource()
-			run = func() (*replay.Result, error) {
-				r, err := replay.ReplayAtLoad(engine, arr, trace, 1.0, replay.Options{})
-				if err == nil {
-					res.ReconstructReads = arr.Array().Stats().ReconstructReads
-					res.Offlines = arr.Stats().Offlines
-				}
-				return r, err
-			}
-		}
-		r, err := run()
-		if err != nil {
-			return nil, err
-		}
-		meter := powersim.DefaultMeter(src)
-		meter.Seed = cfg.Seed
-		samples := meter.Measure(r.Start, r.End)
-		row := ERAIDRow{
-			Config:         config,
-			EnergyJ:        powersim.EnergyJ(samples),
-			MeanWatts:      powersim.MeanWatts(samples),
-			MeanResponseMs: r.MeanResponse.Seconds() * 1000,
-			P99Ms:          r.P99Response.Seconds() * 1000,
-			IOPS:           r.IOPS,
-		}
-		if config == "always-on" {
+	for _, c := range cells {
+		row := c.row
+		if row.Config == "always-on" {
 			baseJ = row.EnergyJ
 		} else if baseJ > 0 {
 			row.SavingsPct = (1 - row.EnergyJ/baseJ) * 100
+		}
+		if row.Config == "eraid" {
+			res.ReconstructReads = c.reconstructReads
+			res.Offlines = c.offlines
 		}
 		res.Rows = append(res.Rows, row)
 	}

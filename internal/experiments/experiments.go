@@ -11,11 +11,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/blktrace"
 	"repro/internal/disksim"
 	"repro/internal/metrics"
+	"repro/internal/parsweep"
 	"repro/internal/powersim"
 	"repro/internal/raid"
 	"repro/internal/replay"
@@ -40,6 +42,13 @@ type Config struct {
 	Loads []float64
 	// Seed drives every generator in the experiment.
 	Seed uint64
+	// Workers bounds the parallel sweep executor: independent
+	// simulation cells (one fresh engine + array each) fan out across
+	// this many goroutines.  0 uses GOMAXPROCS; 1 forces sequential
+	// execution.  Results are identical at any setting — every cell is
+	// seeded and self-contained, and parsweep.Map orders results by
+	// cell index.
+	Workers int
 }
 
 // DefaultConfig returns the scaled-down defaults used by tests and
@@ -193,17 +202,40 @@ func measureAtLoad(cfg Config, kind ArrayKind, trace *blktrace.Trace, load float
 	return measureReplay(cfg, kind, trace, replay.UniformFilter{Proportion: load})
 }
 
-// loadSweep measures the trace at every configured load level.
+// pmap fans n independent simulation cells across cfg.Workers
+// goroutines via the parsweep executor; results come back ordered by
+// cell index, so output is identical to a sequential run.
+func pmap[T any](cfg Config, n int, label func(i int) string, fn func(i int) (T, error)) ([]T, error) {
+	opts := parsweep.Options{Workers: cfg.Workers, Label: label}
+	return parsweep.Map(context.Background(), opts, n, fn)
+}
+
+// loadSweep measures the trace at every configured load level, one
+// parallel cell per level.
 func loadSweep(cfg Config, kind ArrayKind, trace *blktrace.Trace) ([]Measurement, error) {
-	out := make([]Measurement, 0, len(cfg.Loads))
-	for _, load := range cfg.Loads {
-		m, err := measureAtLoad(cfg, kind, trace, load)
-		if err != nil {
-			return nil, fmt.Errorf("load %v: %w", load, err)
-		}
-		out = append(out, *m)
-	}
-	return out, nil
+	return pmap(cfg, len(cfg.Loads),
+		func(i int) string { return fmt.Sprintf("load %v", cfg.Loads[i]) },
+		func(i int) (Measurement, error) {
+			m, err := measureAtLoad(cfg, kind, trace, cfg.Loads[i])
+			if err != nil {
+				return Measurement{}, err
+			}
+			return *m, nil
+		})
+}
+
+// CollectModeTrace collects a peak trace for mode on a pristine array —
+// the exported building block sweep tools use to fan trace collection
+// across cores.
+func CollectModeTrace(cfg Config, kind ArrayKind, mode synth.Mode) (*blktrace.Trace, error) {
+	return collectTrace(cfg.normalize(), kind, mode)
+}
+
+// MeasureAtLoad replays trace on a fresh array at the given load
+// proportion and meters wall power — the exported per-cell measurement
+// sweep tools fan out with CollectModeTrace.
+func MeasureAtLoad(cfg Config, kind ArrayKind, trace *blktrace.Trace, load float64) (*Measurement, error) {
+	return measureAtLoad(cfg.normalize(), kind, trace, load)
 }
 
 // ModeSweep collects a peak trace for mode on a pristine array of the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/blktrace"
 	"repro/internal/disksim"
 	"repro/internal/metrics"
 	"repro/internal/powersim"
@@ -33,49 +34,67 @@ type DegradedResult struct {
 // reproduced here on the simulated array.
 func DegradedStudy(cfg Config) (*DegradedResult, error) {
 	cfg = cfg.normalize()
-	res := &DegradedResult{}
-	for _, mode := range []synth.Mode{
+	modes := []synth.Mode{
 		{RequestBytes: 4 << 10, ReadRatio: 1, RandomRatio: 1},
 		{RequestBytes: 4 << 10, ReadRatio: 0, RandomRatio: 1},
 		{RequestBytes: 64 << 10, ReadRatio: 1, RandomRatio: 0},
-	} {
-		trace, err := collectTrace(cfg, HDDArray, mode)
-		if err != nil {
-			return nil, err
-		}
-		row := DegradedRow{Mode: mode}
-		for _, fail := range []bool{false, true} {
+	}
+	traces, err := pmap(cfg, len(modes),
+		func(i int) string { return fmt.Sprintf("collect %s", modes[i]) },
+		func(i int) (*blktrace.Trace, error) { return collectTrace(cfg, HDDArray, modes[i]) })
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten mode x {healthy, degraded} into one cell list: even cells
+	// replay healthy, odd cells with member 0 failed.
+	cells, err := pmap(cfg, len(modes)*2,
+		func(i int) string {
+			state := "healthy"
+			if i%2 == 1 {
+				state = "degraded"
+			}
+			return fmt.Sprintf("%s %s", modes[i/2], state)
+		},
+		func(i int) (Measurement, error) {
+			fail := i%2 == 1
 			engine, array, err := newSystem(cfg, HDDArray)
 			if err != nil {
-				return nil, err
+				return Measurement{}, err
 			}
 			if fail {
 				if err := array.FailDisk(0); err != nil {
-					return nil, err
+					return Measurement{}, err
 				}
 			}
-			r, err := replay.ReplayAtLoad(engine, array, trace, 1.0, replay.Options{})
+			r, err := replay.ReplayAtLoad(engine, array, traces[i/2], 1.0, replay.Options{})
 			if err != nil {
-				return nil, err
+				return Measurement{}, err
 			}
 			meter := powersim.DefaultMeter(array.PowerSource())
 			meter.Seed = cfg.Seed
 			samples := meter.Measure(r.Start, r.End)
-			m := Measurement{
+			return Measurement{
 				Load:   1.0,
 				Result: r,
 				Power:  powersim.MeanWatts(samples),
 				Eff:    metrics.NewEfficiency(r.IOPS, r.MBPS, powersim.MeanWatts(samples), powersim.EnergyJ(samples)),
-			}
-			if fail {
-				row.Degraded = m
-				row.P99DegradedMs = r.P99Response.Seconds() * 1000
-			} else {
-				row.Healthy = m
-				row.P99HealthyMs = r.P99Response.Seconds() * 1000
-			}
-		}
-		res.Rows = append(res.Rows, row)
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DegradedResult{}
+	for mi, mode := range modes {
+		healthy, degraded := cells[mi*2], cells[mi*2+1]
+		res.Rows = append(res.Rows, DegradedRow{
+			Mode:          mode,
+			Healthy:       healthy,
+			Degraded:      degraded,
+			P99HealthyMs:  healthy.Result.P99Response.Seconds() * 1000,
+			P99DegradedMs: degraded.Result.P99Response.Seconds() * 1000,
+		})
 	}
 	return res, nil
 }
@@ -117,31 +136,36 @@ func SchedulerStudy(cfg Config) (*SchedulerResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SchedulerResult{}
-	for _, sched := range []disksim.Scheduler{disksim.FIFO, disksim.SSTF, disksim.LOOK} {
-		engine := simtime.NewEngine()
-		params := raid.DefaultParams()
-		drive := disksim.Seagate7200()
-		drive.Scheduler = sched
-		array, err := raid.NewHDDArray(engine, params, cfg.HDDs, drive)
-		if err != nil {
-			return nil, err
-		}
-		r, err := replay.ReplayClosedLoop(engine, array, trace, 32, replay.Options{})
-		if err != nil {
-			return nil, err
-		}
-		meter := powersim.DefaultMeter(array.PowerSource())
-		meter.Seed = cfg.Seed
-		samples := meter.Measure(r.Start, r.End)
-		res.Rows = append(res.Rows, SchedulerRow{
-			Scheduler:  sched.String(),
-			Meas:       Measurement{Load: 1, Result: r, Power: powersim.MeanWatts(samples), Eff: metrics.NewEfficiency(r.IOPS, r.MBPS, powersim.MeanWatts(samples), powersim.EnergyJ(samples))},
-			MeanRespMs: r.MeanResponse.Seconds() * 1000,
-			P99Ms:      r.P99Response.Seconds() * 1000,
+	scheds := []disksim.Scheduler{disksim.FIFO, disksim.SSTF, disksim.LOOK}
+	rows, err := pmap(cfg, len(scheds),
+		func(i int) string { return scheds[i].String() },
+		func(i int) (SchedulerRow, error) {
+			engine := simtime.NewEngine()
+			params := raid.DefaultParams()
+			drive := disksim.Seagate7200()
+			drive.Scheduler = scheds[i]
+			array, err := raid.NewHDDArray(engine, params, cfg.HDDs, drive)
+			if err != nil {
+				return SchedulerRow{}, err
+			}
+			r, err := replay.ReplayClosedLoop(engine, array, trace, 32, replay.Options{})
+			if err != nil {
+				return SchedulerRow{}, err
+			}
+			meter := powersim.DefaultMeter(array.PowerSource())
+			meter.Seed = cfg.Seed
+			samples := meter.Measure(r.Start, r.End)
+			return SchedulerRow{
+				Scheduler:  scheds[i].String(),
+				Meas:       Measurement{Load: 1, Result: r, Power: powersim.MeanWatts(samples), Eff: metrics.NewEfficiency(r.IOPS, r.MBPS, powersim.MeanWatts(samples), powersim.EnergyJ(samples))},
+				MeanRespMs: r.MeanResponse.Seconds() * 1000,
+				P99Ms:      r.P99Response.Seconds() * 1000,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SchedulerResult{Rows: rows}, nil
 }
 
 // RenderSchedulerStudy prints the ablation.

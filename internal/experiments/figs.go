@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/blktrace"
 	"repro/internal/disksim"
 	"repro/internal/metrics"
 	"repro/internal/powersim"
@@ -33,7 +34,7 @@ type Fig7Result struct {
 }
 
 // Fig7 measures idle power of the HDD array populated with 0..maxDisks
-// drives (paper Section VI-A).
+// drives (paper Section VI-A), one parallel cell per disk count.
 func Fig7(cfg Config, maxDisks int) (*Fig7Result, error) {
 	cfg = cfg.normalize()
 	if maxDisks <= 0 {
@@ -41,33 +42,39 @@ func Fig7(cfg Config, maxDisks int) (*Fig7Result, error) {
 	}
 	res := &Fig7Result{DisksDominateAt: -1}
 	const idleWindow = 10 * simtime.Second
-	for n := 0; n <= maxDisks; n++ {
-		var watts float64
-		if n == 0 {
-			ch := raid.HDDChassis()
-			src := powersim.PSU{
-				Source:     powersim.Sum{powersim.NewTimeline(ch.BaseW)},
-				Efficiency: ch.PSUEfficiency,
-				StandbyW:   ch.PSUStandbyW,
+	rows, err := pmap(cfg, maxDisks+1,
+		func(n int) string { return fmt.Sprintf("%d disks", n) },
+		func(n int) (Fig7Row, error) {
+			var watts float64
+			if n == 0 {
+				ch := raid.HDDChassis()
+				src := powersim.PSU{
+					Source:     powersim.Sum{powersim.NewTimeline(ch.BaseW)},
+					Efficiency: ch.PSUEfficiency,
+					StandbyW:   ch.PSUStandbyW,
+				}
+				meter := powersim.DefaultMeter(src)
+				meter.Seed = cfg.Seed
+				watts = powersim.MeanWatts(meter.Measure(0, simtime.Time(idleWindow)))
+			} else {
+				e := simtime.NewEngine()
+				params := raid.DefaultParams()
+				params.Level = raid.RAID0 // idle measurement; level is irrelevant
+				a, err := raid.NewHDDArray(e, params, n, disksim.Seagate7200())
+				if err != nil {
+					return Fig7Row{}, err
+				}
+				e.RunUntil(simtime.Time(idleWindow))
+				meter := powersim.DefaultMeter(a.PowerSource())
+				meter.Seed = cfg.Seed
+				watts = powersim.MeanWatts(meter.Measure(0, e.Now()))
 			}
-			meter := powersim.DefaultMeter(src)
-			meter.Seed = cfg.Seed
-			watts = powersim.MeanWatts(meter.Measure(0, simtime.Time(idleWindow)))
-		} else {
-			e := simtime.NewEngine()
-			params := raid.DefaultParams()
-			params.Level = raid.RAID0 // idle measurement; level is irrelevant
-			a, err := raid.NewHDDArray(e, params, n, disksim.Seagate7200())
-			if err != nil {
-				return nil, err
-			}
-			e.RunUntil(simtime.Time(idleWindow))
-			meter := powersim.DefaultMeter(a.PowerSource())
-			meter.Seed = cfg.Seed
-			watts = powersim.MeanWatts(meter.Measure(0, e.Now()))
-		}
-		res.Rows = append(res.Rows, Fig7Row{Disks: n, Watts: watts})
+			return Fig7Row{Disks: n, Watts: watts}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.ChassisWatts = res.Rows[0].Watts
 	res.PerDiskWatts = (res.Rows[maxDisks].Watts - res.Rows[0].Watts) / float64(maxDisks)
 	for _, r := range res.Rows {
@@ -189,32 +196,53 @@ type Fig9Result struct {
 // Fig9 measures the impact of I/O load on energy efficiency
 // (Section VI-C): efficiency grows roughly linearly with load, and
 // small requests earn more IOPS/Watt than large ones.
+//
+// The mode x load grid is flattened into one cell list: first every
+// mode's peak trace is collected in parallel, then all
+// (mode, load) replay cells fan out together instead of nesting loops.
 func Fig9(cfg Config) (*Fig9Result, error) {
 	cfg = cfg.normalize()
-	res := &Fig9Result{}
+	var modes []synth.Mode
+	var labels []string
 	for _, size := range []int64{512, 4 << 10, 64 << 10, 1 << 20} {
-		mode := synth.Mode{RequestBytes: size, ReadRatio: 0.25, RandomRatio: 0.25}
-		trace, err := collectTrace(cfg, HDDArray, mode)
-		if err != nil {
-			return nil, err
-		}
-		ms, err := loadSweep(cfg, HDDArray, trace)
-		if err != nil {
-			return nil, err
-		}
-		res.SubA = append(res.SubA, Fig9Series{Label: sizeLabel(size), Mode: mode, Points: ms})
+		modes = append(modes, synth.Mode{RequestBytes: size, ReadRatio: 0.25, RandomRatio: 0.25})
+		labels = append(labels, sizeLabel(size))
 	}
+	nSubA := len(modes)
 	for _, read := range []float64{0, 0.25, 0.5, 0.75} {
-		mode := synth.Mode{RequestBytes: 16 << 10, ReadRatio: read, RandomRatio: 0.25}
-		trace, err := collectTrace(cfg, HDDArray, mode)
-		if err != nil {
-			return nil, err
+		modes = append(modes, synth.Mode{RequestBytes: 16 << 10, ReadRatio: read, RandomRatio: 0.25})
+		labels = append(labels, fmt.Sprintf("read%.0f%%", read*100))
+	}
+
+	traces, err := pmap(cfg, len(modes),
+		func(i int) string { return fmt.Sprintf("collect %s", modes[i]) },
+		func(i int) (*blktrace.Trace, error) { return collectTrace(cfg, HDDArray, modes[i]) })
+	if err != nil {
+		return nil, err
+	}
+
+	nLoads := len(cfg.Loads)
+	cells, err := pmap(cfg, len(modes)*nLoads,
+		func(i int) string { return fmt.Sprintf("%s load %v", modes[i/nLoads], cfg.Loads[i%nLoads]) },
+		func(i int) (Measurement, error) {
+			m, err := measureAtLoad(cfg, HDDArray, traces[i/nLoads], cfg.Loads[i%nLoads])
+			if err != nil {
+				return Measurement{}, err
+			}
+			return *m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig9Result{}
+	for mi, mode := range modes {
+		s := Fig9Series{Label: labels[mi], Mode: mode, Points: cells[mi*nLoads : (mi+1)*nLoads]}
+		if mi < nSubA {
+			res.SubA = append(res.SubA, s)
+		} else {
+			res.SubB = append(res.SubB, s)
 		}
-		ms, err := loadSweep(cfg, HDDArray, trace)
-		if err != nil {
-			return nil, err
-		}
-		res.SubB = append(res.SubB, Fig9Series{Label: fmt.Sprintf("read%.0f%%", read*100), Mode: mode, Points: ms})
 	}
 	return res, nil
 }
@@ -269,38 +297,59 @@ type Fig10Result struct {
 // Fig10 measures the impact of random ratio on energy efficiency
 // (Section VI-D): efficiency falls as random ratio rises — seeks burn
 // power while throughput collapses — and flattens beyond ~30%.
+//
+// Both subfigures' (size, random ratio) grids are flattened into one
+// cell list; each cell collects its own peak trace and replays it at
+// 100% load on a fresh array.
 func Fig10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.normalize()
 	randoms := []float64{0, 0.1, 0.3, 0.5, 0.75, 1.0}
-	run := func(sizes []int64, read float64) ([]Fig10Series, error) {
-		var out []Fig10Series
-		for _, size := range sizes {
-			s := Fig10Series{Label: sizeLabel(size)}
-			for _, rnd := range randoms {
-				mode := synth.Mode{RequestBytes: size, ReadRatio: read, RandomRatio: rnd}
-				trace, err := collectTrace(cfg, HDDArray, mode)
-				if err != nil {
-					return nil, err
-				}
-				m, err := measureAtLoad(cfg, HDDArray, trace, 1.0)
-				if err != nil {
-					return nil, err
-				}
-				s.Points = append(s.Points, Fig10Point{RandomRatio: rnd, Meas: *m})
+	type spec struct {
+		subB bool
+		size int64
+		read float64
+	}
+	var specs []spec
+	for _, size := range []int64{512, 4 << 10, 64 << 10} {
+		specs = append(specs, spec{subB: false, size: size, read: 0})
+	}
+	for _, size := range []int64{4 << 10, 64 << 10, 1 << 20} {
+		specs = append(specs, spec{subB: true, size: size, read: 1})
+	}
+
+	nRnd := len(randoms)
+	cells, err := pmap(cfg, len(specs)*nRnd,
+		func(i int) string {
+			sp := specs[i/nRnd]
+			return fmt.Sprintf("%s read%.0f%% random%.0f%%", sizeLabel(sp.size), sp.read*100, randoms[i%nRnd]*100)
+		},
+		func(i int) (Fig10Point, error) {
+			sp, rnd := specs[i/nRnd], randoms[i%nRnd]
+			mode := synth.Mode{RequestBytes: sp.size, ReadRatio: sp.read, RandomRatio: rnd}
+			trace, err := collectTrace(cfg, HDDArray, mode)
+			if err != nil {
+				return Fig10Point{}, err
 			}
-			out = append(out, s)
+			m, err := measureAtLoad(cfg, HDDArray, trace, 1.0)
+			if err != nil {
+				return Fig10Point{}, err
+			}
+			return Fig10Point{RandomRatio: rnd, Meas: *m}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig10Result{}
+	for si, sp := range specs {
+		s := Fig10Series{Label: sizeLabel(sp.size), Points: cells[si*nRnd : (si+1)*nRnd]}
+		if sp.subB {
+			res.SubB = append(res.SubB, s)
+		} else {
+			res.SubA = append(res.SubA, s)
 		}
-		return out, nil
 	}
-	subA, err := run([]int64{512, 4 << 10, 64 << 10}, 0)
-	if err != nil {
-		return nil, err
-	}
-	subB, err := run([]int64{4 << 10, 64 << 10, 1 << 20}, 1)
-	if err != nil {
-		return nil, err
-	}
-	return &Fig10Result{SubA: subA, SubB: subB}, nil
+	return res, nil
 }
 
 // RenderFig10 prints both subfigures.
@@ -351,25 +400,36 @@ type Fig11Result struct {
 // requests, sequential workloads (random 0%) show a U-shaped curve —
 // pure-read and pure-write streams beat mixes — while 50%/100% random
 // workloads are insensitive to read ratio.
+// The (random, read) grid is flattened into one parallel cell list;
+// each cell collects and replays its own mode.
 func Fig11(cfg Config) (*Fig11Result, error) {
 	cfg = cfg.normalize()
 	reads := []float64{0, 0.25, 0.5, 0.75, 1.0}
-	res := &Fig11Result{}
-	for _, rnd := range []float64{0, 0.5, 1.0} {
-		s := Fig11Series{RandomRatio: rnd}
-		for _, rd := range reads {
-			mode := synth.Mode{RequestBytes: 16 << 10, ReadRatio: rd, RandomRatio: rnd}
+	randoms := []float64{0, 0.5, 1.0}
+	nRd := len(reads)
+	cells, err := pmap(cfg, len(randoms)*nRd,
+		func(i int) string {
+			return fmt.Sprintf("random%.0f%% read%.0f%%", randoms[i/nRd]*100, reads[i%nRd]*100)
+		},
+		func(i int) (Fig11Point, error) {
+			rd := reads[i%nRd]
+			mode := synth.Mode{RequestBytes: 16 << 10, ReadRatio: rd, RandomRatio: randoms[i/nRd]}
 			trace, err := collectTrace(cfg, HDDArray, mode)
 			if err != nil {
-				return nil, err
+				return Fig11Point{}, err
 			}
 			m, err := measureAtLoad(cfg, HDDArray, trace, 1.0)
 			if err != nil {
-				return nil, err
+				return Fig11Point{}, err
 			}
-			s.Points = append(s.Points, Fig11Point{ReadRatio: rd, Meas: *m})
-		}
-		res.Series = append(res.Series, s)
+			return Fig11Point{ReadRatio: rd, Meas: *m}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	for ri, rnd := range randoms {
+		res.Series = append(res.Series, Fig11Series{RandomRatio: rnd, Points: cells[ri*nRd : (ri+1)*nRd]})
 	}
 	return res, nil
 }
@@ -415,15 +475,20 @@ func Fig12(cfg Config) (*Fig12Result, error) {
 	wp := synth.DefaultWebServer()
 	wp.Seed = cfg.Seed
 	trace := synth.WebServerTrace(wp)
-	res := &Fig12Result{}
-	for _, load := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		m, err := measureAtLoad(cfg, HDDArray, trace, load)
-		if err != nil {
-			return nil, err
-		}
-		res.Series = append(res.Series, Fig12Series{Load: load, Intervals: m.Result.Intervals, Total: *m})
+	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	series, err := pmap(cfg, len(loads),
+		func(i int) string { return fmt.Sprintf("load %v", loads[i]) },
+		func(i int) (Fig12Series, error) {
+			m, err := measureAtLoad(cfg, HDDArray, trace, loads[i])
+			if err != nil {
+				return Fig12Series{}, err
+			}
+			return Fig12Series{Load: loads[i], Intervals: m.Result.Intervals, Total: *m}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig12Result{Series: series}, nil
 }
 
 // RenderFig12 prints a compact timeline table (IOPS per 10-interval

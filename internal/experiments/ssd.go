@@ -49,60 +49,64 @@ func SSDStudy(cfg Config) (*SSDStudyResult, error) {
 		res.IdleWatts = powersim.MeanWatts(meter.Measure(0, e.Now()))
 	}
 
-	// Random-ratio sweep on the SSD array.  Write-heavy 256 KB requests
-	// expose the flash-level cost of randomness (steady-state garbage
-	// collection); small random *reads* actually gain from RAID striping
-	// parallelism, an artifact discussed in EXPERIMENTS.md.
-	for _, rnd := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		mode := synth.Mode{RequestBytes: 256 << 10, ReadRatio: 0, RandomRatio: rnd}
-		trace, err := collectTrace(cfg, SSDArray, mode)
-		if err != nil {
-			return nil, err
-		}
-		m, err := measureAtLoad(cfg, SSDArray, trace, 1.0)
-		if err != nil {
-			return nil, err
-		}
-		res.RandomSweep = append(res.RandomSweep, Fig10Point{RandomRatio: rnd, Meas: *m})
-	}
-
-	// Read-ratio sweep on the SSD array.
-	for _, rd := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
-		mode := synth.Mode{RequestBytes: 16 << 10, ReadRatio: rd, RandomRatio: 0}
-		trace, err := collectTrace(cfg, SSDArray, mode)
-		if err != nil {
-			return nil, err
-		}
-		m, err := measureAtLoad(cfg, SSDArray, trace, 1.0)
-		if err != nil {
-			return nil, err
-		}
-		res.ReadSweep = append(res.ReadSweep, Fig11Point{ReadRatio: rd, Meas: *m})
-	}
-
-	// Head-to-head on shared modes.
-	for _, mode := range []synth.Mode{
+	// The random-ratio sweep, read-ratio sweep and HDD-vs-SSD
+	// head-to-head are flattened into one (kind, mode) cell list; each
+	// cell collects its own peak trace and replays it at 100% load.
+	ratios := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	h2h := []synth.Mode{
 		{RequestBytes: 4 << 10, ReadRatio: 1, RandomRatio: 1},
 		{RequestBytes: 4 << 10, ReadRatio: 0, RandomRatio: 1},
 		{RequestBytes: 64 << 10, ReadRatio: 0.5, RandomRatio: 0},
-	} {
-		row := HDDvsSSDRow{Mode: mode}
-		for _, kind := range []ArrayKind{HDDArray, SSDArray} {
-			trace, err := collectTrace(cfg, kind, mode)
+	}
+	type spec struct {
+		kind ArrayKind
+		mode synth.Mode
+	}
+	var specs []spec
+	// Write-heavy 256 KB requests expose the flash-level cost of
+	// randomness (steady-state garbage collection); small random *reads*
+	// actually gain from RAID striping parallelism, an artifact
+	// discussed in EXPERIMENTS.md.
+	for _, rnd := range ratios {
+		specs = append(specs, spec{SSDArray, synth.Mode{RequestBytes: 256 << 10, ReadRatio: 0, RandomRatio: rnd}})
+	}
+	for _, rd := range ratios {
+		specs = append(specs, spec{SSDArray, synth.Mode{RequestBytes: 16 << 10, ReadRatio: rd, RandomRatio: 0}})
+	}
+	for _, mode := range h2h {
+		specs = append(specs, spec{HDDArray, mode}, spec{SSDArray, mode})
+	}
+
+	cells, err := pmap(cfg, len(specs),
+		func(i int) string { return fmt.Sprintf("%s %s", specs[i].kind, specs[i].mode) },
+		func(i int) (Measurement, error) {
+			trace, err := collectTrace(cfg, specs[i].kind, specs[i].mode)
 			if err != nil {
-				return nil, err
+				return Measurement{}, err
 			}
-			m, err := measureAtLoad(cfg, kind, trace, 1.0)
+			m, err := measureAtLoad(cfg, specs[i].kind, trace, 1.0)
 			if err != nil {
-				return nil, err
+				return Measurement{}, err
 			}
-			if kind == HDDArray {
-				row.HDD = *m
-			} else {
-				row.SSD = *m
-			}
-		}
-		res.HDDvsSSD = append(res.HDDvsSSD, row)
+			return *m, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	nR := len(ratios)
+	for i, rnd := range ratios {
+		res.RandomSweep = append(res.RandomSweep, Fig10Point{RandomRatio: rnd, Meas: cells[i]})
+	}
+	for i, rd := range ratios {
+		res.ReadSweep = append(res.ReadSweep, Fig11Point{ReadRatio: rd, Meas: cells[nR+i]})
+	}
+	for i, mode := range h2h {
+		res.HDDvsSSD = append(res.HDDvsSSD, HDDvsSSDRow{
+			Mode: mode,
+			HDD:  cells[2*nR+2*i],
+			SSD:  cells[2*nR+2*i+1],
+		})
 	}
 	return res, nil
 }

@@ -47,38 +47,43 @@ func ThermalStudy(cfg Config) (*ThermalResult, error) {
 		return nil, err
 	}
 	model := thermal.HDDModel()
-	res := &ThermalResult{Ambient: model.AmbientC}
-	for _, load := range cfg.Loads {
-		engine, array, err := newSystem(cfg, HDDArray)
-		if err != nil {
-			return nil, err
-		}
-		r, err := replay.ReplayAtLoad(engine, array, trace, load, replay.Options{})
-		if err != nil {
-			return nil, err
-		}
-		m := model
-		if tau := r.Duration() / 4; tau > 0 && tau < m.Tau {
-			m.Tau = tau
-		}
-		row := ThermalRow{Load: load, MeanWatts: array.PowerSource().MeanWatts(r.Start, r.End)}
-		var sum float64
-		for _, disk := range array.Disks() {
-			tl := disk.Timeline()
-			temp, err := m.At(tl, r.End)
+	rows, err := pmap(cfg, len(cfg.Loads),
+		func(i int) string { return fmt.Sprintf("load %v", cfg.Loads[i]) },
+		func(i int) (ThermalRow, error) {
+			load := cfg.Loads[i]
+			engine, array, err := newSystem(cfg, HDDArray)
 			if err != nil {
-				return nil, err
+				return ThermalRow{}, err
 			}
-			sum += temp
-			if temp > row.HottestC {
-				row.HottestC = temp
-				row.SteadyHottestC = model.SteadyStateC(tl.MeanWatts(r.Start, r.End))
+			r, err := replay.ReplayAtLoad(engine, array, trace, load, replay.Options{})
+			if err != nil {
+				return ThermalRow{}, err
 			}
-		}
-		row.MeanC = sum / float64(len(array.Disks()))
-		res.Rows = append(res.Rows, row)
+			m := model
+			if tau := r.Duration() / 4; tau > 0 && tau < m.Tau {
+				m.Tau = tau
+			}
+			row := ThermalRow{Load: load, MeanWatts: array.PowerSource().MeanWatts(r.Start, r.End)}
+			var sum float64
+			for _, disk := range array.Disks() {
+				tl := disk.Timeline()
+				temp, err := m.At(tl, r.End)
+				if err != nil {
+					return ThermalRow{}, err
+				}
+				sum += temp
+				if temp > row.HottestC {
+					row.HottestC = temp
+					row.SteadyHottestC = model.SteadyStateC(tl.MeanWatts(r.Start, r.End))
+				}
+			}
+			row.MeanC = sum / float64(len(array.Disks()))
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ThermalResult{Ambient: model.AmbientC, Rows: rows}, nil
 }
 
 // RenderThermalStudy prints the sweep.

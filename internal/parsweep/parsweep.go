@@ -1,0 +1,160 @@
+// Package parsweep is the deterministic parallel executor behind the
+// experiment layer: it fans independent simulation cells across CPU
+// cores while guaranteeing that the assembled output is byte-identical
+// to a sequential run.
+//
+// Every cell of the paper's evaluation — one (trace, load) replay, one
+// disk-count idle measurement, one conservation technique at one load —
+// provisions its own fresh simtime.Engine and device stack from a fixed
+// seed and shares nothing mutable with its neighbours, so cells may run
+// in any order on any number of goroutines.  Determinism then reduces
+// to two properties Map enforces:
+//
+//   - results land in the output slice at their cell index, never in
+//     completion order, and
+//   - when several cells fail, the error of the lowest-indexed failed
+//     cell is the one reported, so error behaviour does not depend on
+//     goroutine scheduling either.
+//
+// Workers = 1 degrades to a plain loop in the caller's goroutine — the
+// reference execution the determinism tests compare against, and the
+// mode to use when debugging a single cell.
+package parsweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tune one Map call.
+type Options struct {
+	// Workers bounds the worker pool: 0 means runtime.GOMAXPROCS(0),
+	// 1 runs sequentially in the caller's goroutine, larger values are
+	// clamped to the cell count.
+	Workers int
+	// Label, when set, names cell i in error messages ("load 0.4",
+	// "mode 4KB-r50-n25"); without it errors carry only the index.
+	Label func(i int) string
+}
+
+// CellError wraps a cell function's failure with the cell's identity.
+type CellError struct {
+	// Index is the failed cell's position in [0, n).
+	Index int
+	// Label is Options.Label(Index), or "" when no labeller was given.
+	Label string
+	// Err is the cell function's error.
+	Err error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("cell %d (%s): %v", e.Index, e.Label, e.Err)
+	}
+	return fmt.Sprintf("cell %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the cell's error to errors.Is / errors.As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// resolveWorkers applies the Options.Workers defaulting and clamping
+// rules for n cells.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map evaluates fn(0) .. fn(n-1) across a worker pool and returns the
+// results ordered by index.  The first (lowest-index) cell error is
+// returned wrapped in a *CellError; once any cell fails, cells that
+// have not started yet are skipped.  Cancelling ctx stops dispatch and
+// returns ctx's error unless a cell had already failed.
+func Map[T any](ctx context.Context, opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parsweep: negative cell count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	cellErr := func(i int, err error) *CellError {
+		ce := &CellError{Index: i, Err: err}
+		if opts.Label != nil {
+			ce.Label = opts.Label(i)
+		}
+		return ce
+	}
+
+	if resolveWorkers(opts.Workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return nil, cellErr(i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next undispatched cell index
+		failed atomic.Bool  // set on first failure; stops dispatch
+		wg     sync.WaitGroup
+
+		mu    sync.Mutex
+		first *CellError // lowest-index failure seen so far
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if first == nil || i < first.Index {
+			first = cellErr(i, err)
+		}
+		mu.Unlock()
+	}
+	workers := resolveWorkers(opts.Workers, n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					record(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

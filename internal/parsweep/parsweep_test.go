@@ -1,0 +1,141 @@
+package parsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering checks that results land at their cell index no
+// matter how many workers race, and that parallel output equals the
+// sequential reference.
+func TestMapOrdering(t *testing.T) {
+	const n = 100
+	fn := func(i int) (int, error) { return i * i, nil }
+	seq, err := Map(context.Background(), Options{Workers: 1}, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16, n + 7} {
+		got, err := Map(context.Background(), Options{Workers: workers}, n, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i := range got {
+			if got[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestMapEmpty checks the zero-cell edge case.
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), Options{}, 0, func(int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := Map(context.Background(), Options{}, -1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n must error")
+	}
+}
+
+// TestMapErrorPropagation checks that the lowest-index failure wins and
+// carries its cell label, for both sequential and parallel pools.
+func TestMapErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	label := func(i int) string { return fmt.Sprintf("cell-%d", i) }
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), Options{Workers: workers, Label: label}, 8,
+			func(i int) (int, error) {
+				if i >= 3 {
+					return 0, fmt.Errorf("i=%d: %w", i, boom)
+				}
+				return i, nil
+			})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: error %T is not a *CellError", workers, err)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Unwrap lost the cause: %v", workers, err)
+		}
+		if ce.Index < 3 {
+			t.Fatalf("workers=%d: reported index %d never failed", workers, ce.Index)
+		}
+		if workers == 1 && ce.Index != 3 {
+			t.Fatalf("sequential run must report the first failure, got %d", ce.Index)
+		}
+		if want := fmt.Sprintf("cell-%d", ce.Index); ce.Label != want {
+			t.Fatalf("label = %q, want %q", ce.Label, want)
+		}
+	}
+}
+
+// TestMapStopsDispatchAfterError checks that a failure prevents
+// not-yet-started cells from running.
+func TestMapStopsDispatchAfterError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(context.Background(), Options{Workers: 2}, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("all %d cells ran despite early failure", got)
+	}
+}
+
+// TestMapContextCancellation checks that cancelling ctx stops dispatch
+// and surfaces the context's error.
+func TestMapContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := Map(ctx, Options{Workers: workers}, 1000, func(i int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= 1000 {
+			t.Fatalf("workers=%d: all %d cells ran despite cancellation", workers, got)
+		}
+	}
+}
+
+// TestResolveWorkers pins the defaulting and clamping rules.
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0, 64); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := resolveWorkers(8, 3); got != 3 {
+		t.Fatalf("clamp to n: got %d", got)
+	}
+	if got := resolveWorkers(1, 100); got != 1 {
+		t.Fatalf("explicit sequential: got %d", got)
+	}
+}

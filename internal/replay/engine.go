@@ -1,27 +1,34 @@
 package replay
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/blktrace"
 	"repro/internal/simtime"
 	"repro/internal/storage"
 )
 
+// percentileIndex returns the nearest-rank index for quantile q in a
+// sorted slice of length n.
+func percentileIndex(n int, q float64) int {
+	idx := int(q*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
 // percentile returns the nearest-rank percentile of a sorted slice.
 func percentile(sorted []simtime.Duration, q float64) simtime.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return sorted[percentileIndex(len(sorted), q)]
 }
 
 // Options tune a replay run.
@@ -96,7 +103,10 @@ func Replay(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, o
 	}
 	start := engine.Now()
 	res := &Result{Trace: trace.Device, Start: start}
-	var completions []completion
+	// The completion slice is the hottest allocation of a replay run:
+	// one record per IO package, appended from the tightest callback.
+	// The trace knows its package count up front, so reserve it all.
+	completions := make([]completion, 0, trace.NumIOs())
 
 	for i := range trace.Bunches {
 		bunch := &trace.Bunches[i]
@@ -140,7 +150,8 @@ type completion struct {
 // finalize derives throughput, response statistics and the per-cycle
 // interval series from raw completions.  minEnd extends the run window
 // (open-loop replay measures over at least the trace duration even if
-// the device finished early).
+// the device finished early).  finalize takes ownership of the
+// completions slice and may reorder it.
 func finalize(res *Result, completions []completion, minEnd simtime.Time, cycle simtime.Duration) {
 	end := minEnd
 	var respSum simtime.Duration
@@ -155,23 +166,10 @@ func finalize(res *Result, completions []completion, minEnd simtime.Time, cycle 
 		}
 	}
 	res.End = end
-	if res.Completed > 0 {
-		res.MeanResponse = respSum / simtime.Duration(res.Completed)
-		responses := make([]simtime.Duration, len(completions))
-		for i, c := range completions {
-			responses[i] = c.response
-		}
-		sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
-		res.P50Response = percentile(responses, 0.50)
-		res.P95Response = percentile(responses, 0.95)
-		res.P99Response = percentile(responses, 0.99)
-	}
-	if secs := res.Duration().Seconds(); secs > 0 {
-		res.IOPS = float64(res.Completed) / secs
-		res.MBPS = float64(res.Bytes) / (1 << 20) / secs
-	}
 
-	// Per-cycle series, bucketing completions by finish time.
+	// Per-cycle series, bucketing completions by finish time.  Bucket
+	// sums are order-independent, so this runs before the percentile
+	// sort reorders the slice.
 	start := res.Start
 	if res.Duration() > 0 {
 		nBuckets := int((res.Duration() + cycle - 1) / cycle)
@@ -180,8 +178,15 @@ func finalize(res *Result, completions []completion, minEnd simtime.Time, cycle 
 			resp       simtime.Duration
 		}
 		buckets := make([]agg, nBuckets)
+		res.Intervals = make([]Interval, 0, nBuckets)
 		for _, c := range completions {
 			i := int(c.finish.Sub(start) / cycle)
+			if i < 0 {
+				// A completion can finish before res.Start when the
+				// caller's engine clock ran ahead of the replay start;
+				// clamp symmetrically with the upper bound.
+				i = 0
+			}
 			if i >= nBuckets {
 				i = nBuckets - 1
 			}
@@ -207,6 +212,24 @@ func finalize(res *Result, completions []completion, minEnd simtime.Time, cycle 
 			res.Intervals = append(res.Intervals, iv)
 		}
 	}
+
+	if res.Completed > 0 {
+		res.MeanResponse = respSum / simtime.Duration(res.Completed)
+		// Sort the completions themselves by response time instead of
+		// copying responses into a scratch slice: the records are not
+		// needed in finish order past this point, so the percentile
+		// pass allocates nothing.
+		slices.SortFunc(completions, func(a, b completion) int {
+			return cmp.Compare(a.response, b.response)
+		})
+		res.P50Response = completions[percentileIndex(len(completions), 0.50)].response
+		res.P95Response = completions[percentileIndex(len(completions), 0.95)].response
+		res.P99Response = completions[percentileIndex(len(completions), 0.99)].response
+	}
+	if secs := res.Duration().Seconds(); secs > 0 {
+		res.IOPS = float64(res.Completed) / secs
+		res.MBPS = float64(res.Bytes) / (1 << 20) / secs
+	}
 }
 
 // ReplayClosedLoop replays the trace's requests in order while ignoring
@@ -227,10 +250,11 @@ func ReplayClosedLoop(engine *simtime.Engine, dev storage.Device, trace *blktrac
 	}
 	start := engine.Now()
 	res := &Result{Trace: trace.Device, Start: start, Filter: "closed-loop"}
-	var completions []completion
+	nIOs := trace.NumIOs()
+	completions := make([]completion, 0, nIOs)
 
 	// Flatten to a request list preserving trace order.
-	var pkgs []blktrace.IOPackage
+	pkgs := make([]blktrace.IOPackage, 0, nIOs)
 	for i := range trace.Bunches {
 		pkgs = append(pkgs, trace.Bunches[i].Packages...)
 	}
