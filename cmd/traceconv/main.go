@@ -42,24 +42,27 @@ func run(args []string, out io.Writer) error {
 	if *in == "" || *outPath == "" {
 		return fmt.Errorf("-in and -out are required")
 	}
-	src, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer src.Close()
-
 	var tr *blktrace.Trace
+	var err error
 	switch *mode {
-	case "srt":
-		tr, err = srt.ConvertStream(src, srt.ConvertOptions{
-			Device:       *srcDev,
-			OutputDevice: *outDev,
-			BunchWindow:  simtime.FromStd(*window),
-		})
 	case "bin2text":
-		tr, err = blktrace.Read(src)
-	case "text2bin":
-		tr, err = blktrace.ReadText(src)
+		tr, err = blktrace.ReadFile(*in)
+	case "srt", "text2bin":
+		var src *os.File
+		src, err = os.Open(*in)
+		if err != nil {
+			return err
+		}
+		if *mode == "srt" {
+			tr, err = srt.ConvertStream(src, srt.ConvertOptions{
+				Device:       *srcDev,
+				OutputDevice: *outDev,
+				BunchWindow:  simtime.FromStd(*window),
+			})
+		} else {
+			tr, err = blktrace.ReadText(src)
+		}
+		src.Close()
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -67,20 +70,19 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	dst, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
 	if *mode == "bin2text" {
-		err = blktrace.WriteText(dst, tr)
-	} else {
-		err = blktrace.Write(dst, tr)
-	}
-	if err != nil {
-		dst.Close()
-		return err
-	}
-	if err := dst.Close(); err != nil {
+		dst, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := blktrace.WriteText(dst, tr); err != nil {
+			dst.Close()
+			return err
+		}
+		if err := dst.Close(); err != nil {
+			return err
+		}
+	} else if err := blktrace.WriteFile(*outPath, tr); err != nil {
 		return err
 	}
 	st := blktrace.ComputeStats(tr)

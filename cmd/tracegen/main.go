@@ -67,20 +67,19 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
 	if *text {
-		err = blktrace.WriteText(f, tr)
-	} else {
-		err = blktrace.Write(f, tr)
-	}
-	if err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := blktrace.WriteText(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := blktrace.WriteFile(*outPath, tr); err != nil {
 		return err
 	}
 	st := blktrace.ComputeStats(tr)

@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -190,6 +192,7 @@ var table = []experiment{
 		return nil
 	}},
 	{"sweep", runSweep},
+	{"kernel", benchKernel},
 }
 
 // runSweep is the scaled 125-trace sweep of Section VI step 1: by
@@ -249,8 +252,37 @@ func run(args []string, out io.Writer) error {
 	outdir := fs.String("outdir", "", "also write one .txt per experiment into this directory")
 	workers := fs.Int("workers", 0, "parallel simulation cells (0 = all cores, 1 = sequential)")
 	list := fs.Bool("list", false, "list experiment names and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	benchout := fs.String("benchout", benchOut, "kernel experiment: JSON report path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	benchOut = *benchout
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracer-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tracer-bench: memprofile:", err)
+			}
+		}()
 	}
 	if *list {
 		for _, e := range table {
@@ -272,8 +304,9 @@ func run(args []string, out io.Writer) error {
 		if !all && !want[e.name] {
 			continue
 		}
-		// "sweep" is heavyweight: only on explicit request.
-		if all && e.name == "sweep" {
+		// "sweep" is heavyweight and "kernel" is a wall-clock benchmark
+		// (nondeterministic output): only on explicit request.
+		if all && (e.name == "sweep" || e.name == "kernel") {
 			continue
 		}
 		start := time.Now()

@@ -13,7 +13,7 @@ func TestListExperiments(t *testing.T) {
 	if err := run([]string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tableIII", "tableIV", "tableV", "ssd", "ablations", "conserve", "thermal", "degraded", "scheduler", "eraid", "sweep"} {
+	for _, want := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tableIII", "tableIV", "tableV", "ssd", "ablations", "conserve", "thermal", "degraded", "scheduler", "eraid", "sweep", "kernel"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -53,5 +53,25 @@ func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-run", "fig99"}, &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig8", "-duration", "1s", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The memprofile defer fires on return, so both files exist here.
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

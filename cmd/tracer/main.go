@@ -448,15 +448,7 @@ func cmdConvert(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, err := os.Create(*outPath)
-	if err != nil {
-		return err
-	}
-	if err := blktrace.Write(g, tr); err != nil {
-		g.Close()
-		return err
-	}
-	if err := g.Close(); err != nil {
+	if err := blktrace.WriteFile(*outPath, tr); err != nil {
 		return err
 	}
 	st := blktrace.ComputeStats(tr)

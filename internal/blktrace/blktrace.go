@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -222,14 +223,74 @@ func (b *Builder) Trace() *Trace { return &b.trace }
 
 var binaryMagic = [8]byte{'T', 'R', 'C', 'R', 'P', 'L', 'A', 'Y'}
 
-const binaryVersion = 1
+const (
+	binaryVersion = 1
+	// pkgRecordSize is the encoded size of one IOPackage record; file
+	// length divided by it bounds the package count, which ReadFile uses
+	// to pre-size the decode arena.
+	pkgRecordSize = 17
+	// fileBufSize is the bufio size for whole-file trace IO.  Trace
+	// files are hundreds of kilobytes to tens of megabytes; 1 MiB keeps
+	// syscall counts low without noticeable memory cost.
+	fileBufSize = 1 << 20
+	// arenaChunk is the fallback arena allocation granularity (in
+	// packages) when no size hint is available.
+	arenaChunk = 4096
+)
 
 // ErrBadFormat reports a malformed trace file.
 var ErrBadFormat = errors.New("blktrace: malformed trace file")
 
+// pkgArena carves per-bunch package slices out of large flat
+// allocations, so decoding a 50k-bunch trace costs a handful of
+// allocations instead of one per bunch.  Carved slices are capped
+// (3-index) so a later append on a bunch cannot clobber its neighbour.
+type pkgArena struct {
+	buf []IOPackage
+}
+
+// take returns an empty slice with capacity n backed by the arena.
+func (a *pkgArena) take(n int) []IOPackage {
+	if n > len(a.buf) {
+		chunk := arenaChunk
+		if n > chunk {
+			chunk = n
+		}
+		a.buf = make([]IOPackage, chunk)
+	}
+	s := a.buf[0:0:n]
+	a.buf = a.buf[n:]
+	return s
+}
+
 // Write encodes the trace in the binary .replay format.
 func Write(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
+	if err := writeTo(bw, t); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile encodes the trace to a file, buffered for bulk writing.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, fileBufSize)
+	if err := writeTo(bw, t); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTo(bw *bufio.Writer, t *Trace) error {
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
 	}
@@ -266,12 +327,37 @@ func Write(w io.Writer, t *Trace) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // Read decodes a binary .replay trace.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	return readFrom(bufio.NewReader(r), 0)
+}
+
+// ReadFile decodes a binary .replay trace from a file.  The file length
+// bounds the package count (each record is pkgRecordSize bytes), so the
+// decode arena is sized in one allocation up front.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hint := 0
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		hint = int(fi.Size() / pkgRecordSize)
+	}
+	return readFrom(bufio.NewReaderSize(f, fileBufSize), hint)
+}
+
+// readFrom decodes the binary format; pkgHint, when positive, is an
+// upper bound on the total package count used to pre-size the arena.
+func readFrom(br *bufio.Reader, pkgHint int) (*Trace, error) {
+	var arena pkgArena
+	if pkgHint > 0 {
+		arena.buf = make([]IOPackage, pkgHint)
+	}
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
@@ -307,7 +393,7 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 		bt := simtime.Duration(binary.LittleEndian.Uint64(bh[0:8]))
 		np := int(binary.LittleEndian.Uint32(bh[8:12]))
-		bunch := Bunch{Time: bt, Packages: make([]IOPackage, 0, np)}
+		bunch := Bunch{Time: bt, Packages: arena.take(np)}
 		for j := 0; j < np; j++ {
 			var rec [17]byte
 			if _, err := io.ReadFull(br, rec[:]); err != nil {

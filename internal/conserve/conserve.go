@@ -63,8 +63,14 @@ func NewManagedDisk(engine *simtime.Engine, disk SpinDowner, timeout simtime.Dur
 
 // armTimer schedules the idle check one timeout from now.
 func (m *ManagedDisk) armTimer() {
-	deadline := m.engine.Now().Add(m.timeout)
-	m.engine.Schedule(deadline, func() { m.check(deadline) })
+	m.engine.AfterEvent(m.timeout, m, simtime.EventArg{})
+}
+
+// OnEvent implements simtime.Handler: an idle-check timer fired.  The
+// policy is its own prebound callback, so the periodic tick allocates
+// nothing; the check deadline is simply the dispatch time.
+func (m *ManagedDisk) OnEvent(e *simtime.Engine, _ simtime.EventArg) {
+	m.check(e.Now())
 }
 
 // check spins the disk down when it has been idle for a full timeout.
@@ -78,8 +84,7 @@ func (m *ManagedDisk) check(deadline simtime.Time) {
 	}
 	// Activity happened since this timer was armed; re-check at
 	// lastActivity+timeout.
-	next := m.lastActivity.Add(m.timeout)
-	m.engine.Schedule(next, func() { m.check(next) })
+	m.engine.ScheduleEvent(m.lastActivity.Add(m.timeout), m, simtime.EventArg{})
 }
 
 // Submit implements storage.Device.
@@ -90,8 +95,7 @@ func (m *ManagedDisk) Submit(req storage.Request, done func(simtime.Time)) {
 		m.outstanding--
 		m.lastActivity = finish
 		if m.outstanding == 0 {
-			next := finish.Add(m.timeout)
-			m.engine.Schedule(next, func() { m.check(next) })
+			m.engine.ScheduleEvent(finish.Add(m.timeout), m, simtime.EventArg{})
 		}
 		done(finish)
 	})

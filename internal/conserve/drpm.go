@@ -50,8 +50,13 @@ func (d *DRPMDisk) Level() int { return d.level }
 func (d *DRPMDisk) Disk() *disksim.HDD { return d.disk }
 
 func (d *DRPMDisk) armTimer() {
-	deadline := d.engine.Now().Add(d.stepDown)
-	d.engine.Schedule(deadline, func() { d.check(deadline) })
+	d.engine.AfterEvent(d.stepDown, d, simtime.EventArg{})
+}
+
+// OnEvent implements simtime.Handler: a step-down timer fired; the
+// check deadline is the dispatch time.
+func (d *DRPMDisk) OnEvent(e *simtime.Engine, _ simtime.EventArg) {
+	d.check(e.Now())
 }
 
 // check steps the speed down one level after a full idle window.
@@ -68,8 +73,7 @@ func (d *DRPMDisk) check(deadline simtime.Time) {
 		}
 		return
 	}
-	next := d.lastActivity.Add(d.stepDown)
-	d.engine.Schedule(next, func() { d.check(next) })
+	d.engine.ScheduleEvent(d.lastActivity.Add(d.stepDown), d, simtime.EventArg{})
 }
 
 // Submit implements storage.Device.  Arrival at reduced speed requests
@@ -86,8 +90,7 @@ func (d *DRPMDisk) Submit(req storage.Request, done func(simtime.Time)) {
 			if d.level != 0 && d.disk.SetRPMFraction(d.levels[0]) {
 				d.level = 0
 			}
-			next := finish.Add(d.stepDown)
-			d.engine.Schedule(next, func() { d.check(next) })
+			d.engine.ScheduleEvent(finish.Add(d.stepDown), d, simtime.EventArg{})
 		}
 		done(finish)
 	})

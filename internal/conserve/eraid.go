@@ -136,8 +136,11 @@ func (e *ERAIDArray) tick() {
 		e.armed = false
 		return
 	}
-	e.engine.After(simtime.Duration(e.window), func() { e.tick() })
+	e.engine.AfterEvent(e.window, e, simtime.EventArg{})
 }
+
+// OnEvent implements simtime.Handler: the load-evaluation tick fired.
+func (e *ERAIDArray) OnEvent(*simtime.Engine, simtime.EventArg) { e.tick() }
 
 // Submit implements storage.Device.
 func (e *ERAIDArray) Submit(req storage.Request, done func(simtime.Time)) {
@@ -145,7 +148,7 @@ func (e *ERAIDArray) Submit(req storage.Request, done func(simtime.Time)) {
 	e.outstanding++
 	if !e.armed {
 		e.armed = true
-		e.engine.After(simtime.Duration(e.window), func() { e.tick() })
+		e.engine.AfterEvent(e.window, e, simtime.EventArg{})
 	}
 	e.array.Submit(req, func(t simtime.Time) {
 		e.outstanding--

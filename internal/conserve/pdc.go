@@ -154,6 +154,9 @@ func (d *PDC) offsetOn(chunk int64) int64 {
 	return (chunk / int64(len(d.disks)) % d.perDisk) * d.params.ChunkBytes
 }
 
+// OnEvent implements simtime.Handler: the reorganisation tick fired.
+func (d *PDC) OnEvent(*simtime.Engine, simtime.EventArg) { d.reorg() }
+
 // Submit implements storage.Device.
 func (d *PDC) Submit(req storage.Request, done func(simtime.Time)) {
 	if err := req.Validate(0); err != nil {
@@ -161,7 +164,7 @@ func (d *PDC) Submit(req storage.Request, done func(simtime.Time)) {
 	}
 	if !d.armed {
 		d.armed = true
-		d.engine.After(simtime.Duration(d.params.ReorgInterval), func() { d.reorg() })
+		d.engine.AfterEvent(d.params.ReorgInterval, d, simtime.EventArg{})
 	}
 	d.windowIOs++
 	d.outstanding++
@@ -245,7 +248,7 @@ func (d *PDC) reorg() {
 		return
 	}
 	d.windowIOs = 0
-	d.engine.After(simtime.Duration(d.params.ReorgInterval), func() { d.reorg() })
+	d.engine.AfterEvent(d.params.ReorgInterval, d, simtime.EventArg{})
 }
 
 // migrate moves one chunk: read from the source member, write to the

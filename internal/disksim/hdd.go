@@ -131,6 +131,7 @@ type HDD struct {
 	rng    *rand.Rand
 
 	queue    []hddPending
+	inflight hddPending // the request being served (drive is strictly serial)
 	busy     bool
 	spin     spinState
 	rpmFrac  float64 // DRPM speed fraction in [MinRPMFraction, 1]
@@ -139,6 +140,54 @@ type HDD struct {
 	lastEnd  int64   // byte address following the last transfer (for sequential detection)
 
 	stats HDDStats
+}
+
+// Event kinds for the drive's closure-free kernel callbacks.
+const (
+	hddEvSpinUpDone int32 = iota
+	hddEvShiftDone
+	hddEvServiceDone
+)
+
+// OnEvent implements simtime.Handler: the drive is its own prebound
+// callback, so scheduling spin-up, RPM-shift and service-completion
+// events allocates nothing.
+func (d *HDD) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
+	switch arg.Kind {
+	case hddEvSpinUpDone:
+		d.spin = spinning
+		d.setPower(e.Now(), "idle")
+		if len(d.queue) > 0 && !d.busy {
+			d.busy = true
+			d.startNext()
+		}
+	case hddEvShiftDone:
+		d.spin = spinning
+		if len(d.queue) > 0 && !d.busy {
+			d.busy = true
+			d.startNext()
+		}
+	case hddEvServiceDone:
+		finish := e.Now()
+		p := d.inflight
+		d.inflight = hddPending{}
+		d.stats.Served++
+		switch p.req.Op {
+		case storage.Read:
+			d.stats.BytesRead += p.req.Size
+		case storage.Write:
+			d.stats.BytesWritten += p.req.Size
+		}
+		d.lastEnd = p.req.End()
+		d.headCyl = d.cylinderOf(p.req.End() - 1)
+		if len(d.queue) > 0 {
+			d.startNext()
+		} else {
+			d.busy = false
+			d.setPower(finish, "idle")
+		}
+		p.done(finish)
+	}
 }
 
 // spinPowerW models spindle draw versus speed: air drag scales roughly
@@ -237,14 +286,7 @@ func (d *HDD) Wake() bool {
 	d.stats.SpinUps++
 	now := d.engine.Now()
 	d.setPower(now, "spinup")
-	d.engine.Schedule(now.Add(d.params.SpinUp), func() {
-		d.spin = spinning
-		d.setPower(d.engine.Now(), "idle")
-		if len(d.queue) > 0 && !d.busy {
-			d.busy = true
-			d.startNext()
-		}
-	})
+	d.engine.ScheduleEvent(now.Add(d.params.SpinUp), d, simtime.EventArg{Kind: hddEvSpinUpDone})
 	return true
 }
 
@@ -276,13 +318,7 @@ func (d *HDD) SetRPMFraction(frac float64) bool {
 	d.spin = spinningUp // unavailable during the shift
 	now := d.engine.Now()
 	d.setPower(now, "idle") // draw settles to the new spin level
-	d.engine.Schedule(now.Add(d.params.RPMShift), func() {
-		d.spin = spinning
-		if len(d.queue) > 0 && !d.busy {
-			d.busy = true
-			d.startNext()
-		}
-	})
+	d.engine.ScheduleEvent(now.Add(d.params.RPMShift), d, simtime.EventArg{Kind: hddEvShiftDone})
 	return true
 }
 
@@ -300,14 +336,7 @@ func (d *HDD) Submit(req storage.Request, done func(simtime.Time)) {
 		d.stats.SpinUps++
 		now := d.engine.Now()
 		d.setPower(now, "spinup")
-		d.engine.Schedule(now.Add(d.params.SpinUp), func() {
-			d.spin = spinning
-			d.setPower(d.engine.Now(), "idle")
-			if len(d.queue) > 0 && !d.busy {
-				d.busy = true
-				d.startNext()
-			}
-		})
+		d.engine.ScheduleEvent(now.Add(d.params.SpinUp), d, simtime.EventArg{Kind: hddEvSpinUpDone})
 	case spinningUp:
 		// Queued; the spin-up completion event starts service.
 	case spinning:
@@ -346,24 +375,8 @@ func (d *HDD) startNext() {
 		d.stats.Seeks++
 	}
 
-	d.engine.Schedule(finish, func() {
-		d.stats.Served++
-		switch p.req.Op {
-		case storage.Read:
-			d.stats.BytesRead += p.req.Size
-		case storage.Write:
-			d.stats.BytesWritten += p.req.Size
-		}
-		d.lastEnd = p.req.End()
-		d.headCyl = d.cylinderOf(p.req.End() - 1)
-		if len(d.queue) > 0 {
-			d.startNext()
-		} else {
-			d.busy = false
-			d.setPower(finish, "idle")
-		}
-		p.done(finish)
-	})
+	d.inflight = p
+	d.engine.ScheduleEvent(finish, d, simtime.EventArg{Kind: hddEvServiceDone})
 }
 
 // serviceTime computes positioning (seek + rotational latency) and media

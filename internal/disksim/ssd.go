@@ -88,11 +88,36 @@ type SSD struct {
 	power  *powersim.StateMachine
 	rng    *rand.Rand
 
-	queue   []ssdPending
-	busy    bool
-	lastEnd int64
+	queue    []ssdPending
+	inflight ssdPending // the request being served (device is strictly serial)
+	busy     bool
+	lastEnd  int64
 
 	stats SSDStats
+}
+
+// OnEvent implements simtime.Handler: the device is its own prebound
+// service-completion callback, so the hot completion path allocates
+// nothing in the kernel.
+func (d *SSD) OnEvent(e *simtime.Engine, _ simtime.EventArg) {
+	finish := e.Now()
+	p := d.inflight
+	d.inflight = ssdPending{}
+	d.stats.Served++
+	switch p.req.Op {
+	case storage.Read:
+		d.stats.BytesRead += p.req.Size
+	case storage.Write:
+		d.stats.BytesWritten += p.req.Size
+	}
+	d.lastEnd = p.req.End()
+	if len(d.queue) > 0 {
+		d.startNext()
+	} else {
+		d.busy = false
+		d.power.Transition(finish, "idle")
+	}
+	p.done(finish)
 }
 
 // NewSSD creates a device on the given engine, starting idle.
@@ -161,23 +186,8 @@ func (d *SSD) startNext() {
 	d.power.Transition(now, state)
 	d.stats.BusyTime += st
 
-	d.engine.Schedule(finish, func() {
-		d.stats.Served++
-		switch p.req.Op {
-		case storage.Read:
-			d.stats.BytesRead += p.req.Size
-		case storage.Write:
-			d.stats.BytesWritten += p.req.Size
-		}
-		d.lastEnd = p.req.End()
-		if len(d.queue) > 0 {
-			d.startNext()
-		} else {
-			d.busy = false
-			d.power.Transition(finish, "idle")
-		}
-		p.done(finish)
-	})
+	d.inflight = p
+	d.engine.ScheduleEvent(finish, d, simtime.EventArg{})
 }
 
 // serviceTime models the flash array: the request is split into pages,

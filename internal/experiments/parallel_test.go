@@ -60,3 +60,23 @@ func TestFig9ParallelDeterminism(t *testing.T) {
 		t.Error("workers=4: Fig9 diverged from sequential result")
 	}
 }
+
+// TestModeSweepRunToRunDeterminism pins the kernel-swap guarantee: the
+// closure-free event kernel preserves exact (at, seq) FIFO dispatch, so
+// two independent full ModeSweep runs — fresh engines, arrays and
+// traces each time — must be deep-equal.  Any tie-break or ordering
+// drift in the kernel shows up here as diverging measurements.
+func TestModeSweepRunToRunDeterminism(t *testing.T) {
+	mode := synth.Mode{RequestBytes: 64 << 10, ReadRatio: 0.9, RandomRatio: 0.1}
+	first, err := ModeSweep(parallelTestConfig(1), HDDArray, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ModeSweep(parallelTestConfig(1), HDDArray, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("two identical ModeSweep runs diverged")
+	}
+}

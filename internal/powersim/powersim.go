@@ -246,33 +246,107 @@ func DefaultMeter(src Source) *Meter {
 	return &Meter{Source: src, Cycle: simtime.Second, NoiseFrac: 0.005, SupplyVolts: 220, Seed: 1}
 }
 
+// cycleOrDefault reports the effective sampling period.
+func (m *Meter) cycleOrDefault() simtime.Duration {
+	if m.Cycle <= 0 {
+		return simtime.Second
+	}
+	return m.Cycle
+}
+
+// voltsOrDefault reports the effective supply voltage.
+func (m *Meter) voltsOrDefault() float64 {
+	if m.SupplyVolts <= 0 {
+		return 220
+	}
+	return m.SupplyVolts
+}
+
+// noiseRNG returns the meter's reproducible sensor-noise stream.
+func (m *Meter) noiseRNG() *rand.Rand {
+	return rand.New(rand.NewPCG(m.Seed, 0x7ace))
+}
+
+// sampleCycle takes one reading over [start, end) using the given noise
+// stream.  Measure and Ticker share it, so an online tick stream is
+// bit-identical to a post-hoc Measure over the same window.
+func (m *Meter) sampleCycle(rng *rand.Rand, start, end simtime.Time) Sample {
+	w := m.Source.MeanWatts(start, end)
+	if m.NoiseFrac > 0 {
+		w *= 1 + rng.NormFloat64()*m.NoiseFrac
+	}
+	v := m.voltsOrDefault()
+	if m.NoiseFrac > 0 {
+		v *= 1 + rng.NormFloat64()*m.NoiseFrac*0.2
+	}
+	return Sample{Start: start, End: end, Watts: w, Volts: v, Amps: w / v}
+}
+
 // Measure samples the source over [t0, t1) and returns one Sample per
 // complete or partial cycle.
 func (m *Meter) Measure(t0, t1 simtime.Time) []Sample {
-	cycle := m.Cycle
-	if cycle <= 0 {
-		cycle = simtime.Second
-	}
-	volts := m.SupplyVolts
-	if volts <= 0 {
-		volts = 220
-	}
-	rng := rand.New(rand.NewPCG(m.Seed, 0x7ace))
+	cycle := m.cycleOrDefault()
+	rng := m.noiseRNG()
 	var samples []Sample
 	for start := t0; start < t1; start = start.Add(cycle) {
-		end := minTime(start.Add(cycle), t1)
-		w := m.Source.MeanWatts(start, end)
-		if m.NoiseFrac > 0 {
-			w *= 1 + rng.NormFloat64()*m.NoiseFrac
-		}
-		v := volts
-		if m.NoiseFrac > 0 {
-			v *= 1 + rng.NormFloat64()*m.NoiseFrac*0.2
-		}
-		samples = append(samples, Sample{Start: start, End: end, Watts: w, Volts: v, Amps: w / v})
+		samples = append(samples, m.sampleCycle(rng, start, minTime(start.Add(cycle), t1)))
 	}
 	return samples
 }
+
+// Ticker samples a meter channel live on the simulation clock: one
+// closure-free kernel event per cycle, each reading the cycle that just
+// elapsed.  Post-hoc Measure needs the run to have finished; a ticker
+// produces the same stream while the replay is still in flight, which
+// is what a monitoring daemon streams to clients.  Device models stamp
+// their power trajectory at service start (timestamps may lead the
+// clock), so a just-elapsed cycle is always fully recorded.
+type Ticker struct {
+	engine *simtime.Engine
+	meter  *Meter
+	rng    *rand.Rand
+	until  simtime.Time
+	prev   simtime.Time // start of the cycle currently elapsing
+
+	samples []Sample
+}
+
+// Tick starts live sampling from the engine's current time until the
+// given horizon; the final cycle is truncated at the horizon exactly as
+// Measure truncates it.  The returned Ticker accumulates samples as
+// virtual time advances.
+func (m *Meter) Tick(engine *simtime.Engine, until simtime.Time) *Ticker {
+	t := &Ticker{
+		engine: engine,
+		meter:  m,
+		rng:    m.noiseRNG(),
+		until:  until,
+		prev:   engine.Now(),
+	}
+	t.arm()
+	return t
+}
+
+// arm schedules the next cycle-boundary event, if any remain.
+func (t *Ticker) arm() {
+	if t.prev >= t.until {
+		return
+	}
+	next := minTime(t.prev.Add(t.meter.cycleOrDefault()), t.until)
+	t.engine.ScheduleEvent(next, t, simtime.EventArg{})
+}
+
+// OnEvent implements simtime.Handler: a cycle boundary arrived; read
+// the elapsed cycle and re-arm.
+func (t *Ticker) OnEvent(e *simtime.Engine, _ simtime.EventArg) {
+	now := e.Now()
+	t.samples = append(t.samples, t.meter.sampleCycle(t.rng, t.prev, now))
+	t.prev = now
+	t.arm()
+}
+
+// Samples returns the readings taken so far.
+func (t *Ticker) Samples() []Sample { return t.samples }
 
 // MeanWatts averages the Watts field of a slice of samples, weighting
 // each sample by its cycle length.

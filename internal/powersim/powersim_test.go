@@ -285,3 +285,62 @@ func TestApproxEqual(t *testing.T) {
 		t.Fatal("0 vs 0 should be equal")
 	}
 }
+
+func TestTickerMatchesMeasure(t *testing.T) {
+	engine := simtime.NewEngine()
+	tl := NewTimeline(90)
+	m := &Meter{Source: tl, Cycle: sec, NoiseFrac: 0.01, SupplyVolts: 220, Seed: 42}
+	until := simtime.Time(10*sec + sec/2) // force a truncated final cycle
+	ticker := m.Tick(engine, until)
+
+	// Interleave unrelated events so ticks share timestamps with other
+	// work, and mutate the timeline mid-run as a device model would.
+	for i := 1; i <= 10; i++ {
+		at := simtime.Time(simtime.Duration(i) * sec)
+		engine.Schedule(at, func() {})
+	}
+	engine.Schedule(simtime.Time(3*sec+sec/4), func() { tl.Set(engine.Now(), 140) })
+	engine.Schedule(simtime.Time(7*sec), func() { tl.Set(engine.Now(), 60) })
+	engine.Run()
+
+	got := ticker.Samples()
+	want := m.Measure(0, until)
+	if len(got) != len(want) {
+		t.Fatalf("ticker took %d samples, Measure %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: online %+v != offline %+v", i, got[i], want[i])
+		}
+	}
+	if engine.Now() != until {
+		t.Fatalf("engine drained at %v, want last tick at %v", engine.Now(), until)
+	}
+}
+
+func TestTickerStartsAtCurrentTime(t *testing.T) {
+	engine := simtime.NewEngine()
+	engine.Schedule(simtime.Time(2*sec), func() {})
+	engine.Run() // advance clock to 2s
+	tl := NewTimeline(50)
+	m := &Meter{Source: tl, Cycle: sec, SupplyVolts: 220}
+	ticker := m.Tick(engine, simtime.Time(4*sec))
+	engine.Run()
+	got := ticker.Samples()
+	want := m.Measure(simtime.Time(2*sec), simtime.Time(4*sec))
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ticker from mid-run clock: got %+v, want %+v", got, want)
+	}
+}
+
+func TestTickerNoHorizonNoSamples(t *testing.T) {
+	engine := simtime.NewEngine()
+	m := &Meter{Source: NewTimeline(50), Cycle: sec, SupplyVolts: 220}
+	ticker := m.Tick(engine, engine.Now()) // horizon already reached
+	if engine.Pending() != 0 {
+		t.Fatalf("ticker armed %d events past its horizon", engine.Pending())
+	}
+	if len(ticker.Samples()) != 0 {
+		t.Fatalf("got %d samples, want 0", len(ticker.Samples()))
+	}
+}

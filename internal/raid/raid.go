@@ -313,6 +313,39 @@ func (a *Array) mapRange(off, size int64) []segment {
 	return segs
 }
 
+// pendingCmd carries one array request across the controller
+// command-overhead delay.  It is the closure-free kernel callback for
+// the array's hottest scheduling site: one small struct per array
+// command replaces the capturing closure the old path allocated.
+type pendingCmd struct {
+	a    *Array
+	req  storage.Request
+	done func(simtime.Time)
+}
+
+// OnEvent implements simtime.Handler: the command overhead has elapsed,
+// plan and issue the member-disk operations.
+func (p *pendingCmd) OnEvent(*simtime.Engine, simtime.EventArg) {
+	a := p.a
+	switch p.req.Op {
+	case storage.Read:
+		a.stats.Reads++
+		a.submitRead(p.req, p.done)
+	case storage.Write:
+		a.stats.Writes++
+		a.submitWrite(p.req, p.done)
+	}
+}
+
+// doneNow defers a stored completion callback by one kernel event, so
+// zero-disk-op completions stay asynchronous without a closure: the
+// func value rides in EventArg.Ptr (pointer-shaped, no boxing).
+type doneNow struct{}
+
+func (doneNow) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
+	arg.Ptr.(func(simtime.Time))(e.Now())
+}
+
 // Submit implements storage.Device.
 func (a *Array) Submit(req storage.Request, done func(simtime.Time)) {
 	if err := req.Validate(0); err != nil {
@@ -320,16 +353,7 @@ func (a *Array) Submit(req storage.Request, done func(simtime.Time)) {
 	}
 	req.Offset = foldOffset(req.Offset, req.Size, a.Capacity())
 	// Controller command overhead before member-disk issue.
-	a.engine.After(a.params.CmdOverhead, func() {
-		switch req.Op {
-		case storage.Read:
-			a.stats.Reads++
-			a.submitRead(req, done)
-		case storage.Write:
-			a.stats.Writes++
-			a.submitWrite(req, done)
-		}
-	})
+	a.engine.AfterEvent(a.params.CmdOverhead, &pendingCmd{a: a, req: req, done: done}, simtime.EventArg{})
 }
 
 // diskOp is one member-disk operation planned by the controller.
@@ -343,8 +367,7 @@ type diskOp struct {
 func (a *Array) issueAll(ops []diskOp, done func(simtime.Time)) {
 	outstanding := len(ops)
 	if outstanding == 0 {
-		now := a.engine.Now()
-		a.engine.Schedule(now, func() { done(now) })
+		a.engine.ScheduleEvent(a.engine.Now(), doneNow{}, simtime.EventArg{Ptr: done})
 		return
 	}
 	var latest simtime.Time

@@ -1,0 +1,48 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/disksim"
+	"repro/internal/raid"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+// benchTrace builds a fixed synthetic web-server trace once; every
+// benchmark iteration replays the same bunches so allocs/op and ns/op
+// track the replay path, not trace synthesis.
+var benchTrace *blktrace.Trace
+
+func getBenchTrace(b *testing.B) *blktrace.Trace {
+	b.Helper()
+	if benchTrace == nil {
+		p := synth.DefaultWebServer()
+		p.Duration = 2 * simtime.Second
+		benchTrace = synth.WebServerTrace(p)
+	}
+	return benchTrace
+}
+
+// BenchmarkEndToEndReplay measures a full open-loop replay against a
+// RAID-5 HDD array: trace issue, controller fan-out, per-disk service
+// and completion aggregation all ride the simtime kernel, so this is
+// the end-to-end cost the kernel rewrite targets.
+func BenchmarkEndToEndReplay(b *testing.B) {
+	tr := getBenchTrace(b)
+	nIOs := float64(tr.NumIOs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := simtime.NewEngine()
+		arr, err := raid.NewHDDArray(e, raid.DefaultParams(), 5, disksim.Seagate7200())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Replay(e, arr, tr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nIOs*float64(b.N)/b.Elapsed().Seconds(), "IOs/sec")
+}

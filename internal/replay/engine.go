@@ -103,31 +103,22 @@ func Replay(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, o
 	}
 	start := engine.Now()
 	res := &Result{Trace: trace.Device, Start: start}
-	// The completion slice is the hottest allocation of a replay run:
-	// one record per IO package, appended from the tightest callback.
-	// The trace knows its package count up front, so reserve it all.
-	completions := make([]completion, 0, trace.NumIOs())
-
+	// One run handler serves every bunch-issue event, carrying the bunch
+	// index in the event argument: no closure per bunch, and the engine
+	// heap is grown once so bulk scheduling never pays an append growth.
+	// The completion slice is the hottest remaining allocation of a
+	// replay run: one record per IO package, appended from the tightest
+	// callback.  The trace knows its package count up front, so reserve
+	// it all.
+	run := &openLoopRun{
+		dev:         dev,
+		trace:       trace,
+		res:         res,
+		completions: make([]completion, 0, trace.NumIOs()),
+	}
+	engine.Grow(len(trace.Bunches))
 	for i := range trace.Bunches {
-		bunch := &trace.Bunches[i]
-		at := start.Add(bunch.Time)
-		pkgs := bunch.Packages
-		engine.Schedule(at, func() {
-			issueTime := engine.Now()
-			for _, p := range pkgs {
-				p := p
-				res.Issued++
-				dev.Submit(p.Request(), func(finish simtime.Time) {
-					res.Completed++
-					completions = append(completions, completion{
-						finish:   finish,
-						issue:    issueTime,
-						bytes:    p.Size,
-						response: finish.Sub(issueTime),
-					})
-				})
-			}
-		})
+		engine.ScheduleEvent(start.Add(trace.Bunches[i].Time), run, simtime.EventArg{I64: int64(i)})
 	}
 	if opts.Tail > 0 {
 		engine.RunUntil(start.Add(trace.Duration() + opts.Tail))
@@ -135,8 +126,36 @@ func Replay(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, o
 		engine.Run()
 	}
 
-	finalize(res, completions, start.Add(trace.Duration()), cycle)
+	finalize(res, run.completions, start.Add(trace.Duration()), cycle)
 	return res, nil
+}
+
+// openLoopRun is the closure-free bunch-issue handler for one Replay
+// call: OnEvent fires at a bunch's arrival time and submits all of its
+// packages concurrently.
+type openLoopRun struct {
+	dev         storage.Device
+	trace       *blktrace.Trace
+	res         *Result
+	completions []completion
+}
+
+// OnEvent implements simtime.Handler; arg.I64 is the bunch index.
+func (r *openLoopRun) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
+	issueTime := e.Now()
+	for _, p := range r.trace.Bunches[arg.I64].Packages {
+		size := p.Size
+		r.res.Issued++
+		r.dev.Submit(p.Request(), func(finish simtime.Time) {
+			r.res.Completed++
+			r.completions = append(r.completions, completion{
+				finish:   finish,
+				issue:    issueTime,
+				bytes:    size,
+				response: finish.Sub(issueTime),
+			})
+		})
+	}
 }
 
 // completion records one finished IO for aggregation.

@@ -127,16 +127,7 @@ func (r *Repository) store(name string, t *blktrace.Trace) (Entry, error) {
 	}
 	path := filepath.Join(r.dir, name)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return Entry{}, fmt.Errorf("repository: %w", err)
-	}
-	if err := blktrace.Write(f, t); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return Entry{}, fmt.Errorf("repository: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	if err := blktrace.WriteFile(tmp, t); err != nil {
 		os.Remove(tmp)
 		return Entry{}, fmt.Errorf("repository: %w", err)
 	}
@@ -158,15 +149,14 @@ func (r *Repository) Load(nameOrPath string) (*blktrace.Trace, error) {
 	if !filepath.IsAbs(path) {
 		path = filepath.Join(r.dir, nameOrPath)
 	}
-	f, err := os.Open(path)
+	t, err := blktrace.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, nameOrPath)
 		}
 		return nil, fmt.Errorf("repository: %w", err)
 	}
-	defer f.Close()
-	return blktrace.Read(f)
+	return t, nil
 }
 
 // LookupSynthetic loads the trace collected on device under mode m.

@@ -53,6 +53,63 @@ func TestFIFOTieBreak(t *testing.T) {
 	}
 }
 
+// recorder is a closure-free handler that logs (time, arg) pairs.
+type recorder struct {
+	times []Time
+	args  []int64
+}
+
+func (r *recorder) OnEvent(e *Engine, arg EventArg) {
+	r.times = append(r.times, e.Now())
+	r.args = append(r.args, arg.I64)
+}
+
+func TestScheduleEventOrderAndArgs(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	for i, at := range []Time{50, 10, 30, 20, 40, 10} {
+		e.ScheduleEvent(at, r, EventArg{I64: int64(i)})
+	}
+	e.Run()
+	wantTimes := []Time{10, 10, 20, 30, 40, 50}
+	wantArgs := []int64{1, 5, 3, 2, 4, 0}
+	for i := range wantTimes {
+		if r.times[i] != wantTimes[i] || r.args[i] != wantArgs[i] {
+			t.Fatalf("dispatch %d = (%v, %d), want (%v, %d)", i, r.times[i], r.args[i], wantTimes[i], wantArgs[i])
+		}
+	}
+}
+
+// sharedLog lets closure and closure-free events append to one slice,
+// so their interleaving is observable.
+type sharedLog struct{ got []int64 }
+
+func (l *sharedLog) OnEvent(_ *Engine, arg EventArg) { l.got = append(l.got, arg.I64) }
+
+func TestMixedClosureAndEventFIFO(t *testing.T) {
+	// Closure and closure-free events at the same timestamp interleave
+	// in scheduling order: the seq tie-break ignores the callback form.
+	e := NewEngine()
+	l := &sharedLog{}
+	for i := 0; i < 8; i++ {
+		i := int64(i)
+		if i%2 == 0 {
+			e.Schedule(100, func() { l.got = append(l.got, i) })
+		} else {
+			e.ScheduleEvent(100, l, EventArg{I64: i})
+		}
+	}
+	e.Run()
+	if len(l.got) != 8 {
+		t.Fatalf("ran %d events, want 8", len(l.got))
+	}
+	for i, v := range l.got {
+		if v != int64(i) {
+			t.Fatalf("mixed-form FIFO broken: %v", l.got)
+		}
+	}
+}
+
 func TestSchedulingFromWithinEvent(t *testing.T) {
 	e := NewEngine()
 	var got []Time
@@ -89,6 +146,16 @@ func TestNegativeAfterPanics(t *testing.T) {
 	e.After(-1, func() {})
 }
 
+func TestNegativeAfterEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AfterEvent did not panic")
+		}
+	}()
+	e.AfterEvent(-1, &recorder{}, EventArg{})
+}
+
 func TestRunUntil(t *testing.T) {
 	e := NewEngine()
 	var ran []Time
@@ -122,10 +189,62 @@ func TestRunUntilDoesNotRewindClock(t *testing.T) {
 	}
 }
 
+// Regression: an event scheduled AT the deadline from inside another
+// deadline-time event must still run before RunUntil pins the clock.
+// A kernel that snapshots the <= deadline set before dispatching (or
+// that checks the head only once per pass) would strand the re-entrant
+// event for the next RunUntil call and desynchronise open-loop replay.
+func TestRunUntilReentrantDeadlineScheduling(t *testing.T) {
+	e := NewEngine()
+	const deadline = Time(100)
+	var ran []string
+	e.Schedule(deadline, func() {
+		ran = append(ran, "outer")
+		e.Schedule(deadline, func() {
+			ran = append(ran, "inner")
+			e.Schedule(deadline, func() { ran = append(ran, "innermost") })
+		})
+	})
+	e.RunUntil(deadline)
+	want := []string{"outer", "inner", "innermost"}
+	if len(ran) != len(want) {
+		t.Fatalf("ran %v, want %v", ran, want)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("ran %v, want %v", ran, want)
+		}
+	}
+	if e.Now() != deadline {
+		t.Fatalf("Now = %v, want %v", e.Now(), deadline)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
 func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {
 		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestGrowPreservesPendingEvents(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	for i := 0; i < 10; i++ {
+		e.ScheduleEvent(Time(10-i), r, EventArg{I64: int64(i)})
+	}
+	e.Grow(100000)
+	e.Run()
+	if len(r.args) != 10 {
+		t.Fatalf("ran %d events, want 10", len(r.args))
+	}
+	for i, v := range r.args {
+		if v != int64(9-i) {
+			t.Fatalf("order after Grow: %v", r.args)
+		}
 	}
 }
 
@@ -157,6 +276,118 @@ func TestPropertyClockMonotone(t *testing.T) {
 	}
 }
 
+// Property: random interleavings of Schedule/ScheduleEvent/Step drain
+// in exact (at, seq) order, checked against a reference stable sort of
+// everything scheduled.  This pins the heap's tie-breaking, not just
+// monotonicity.
+func TestPropertyDrainsInAtSeqOrder(t *testing.T) {
+	type stamped struct {
+		at  Time
+		seq int64
+	}
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		e := NewEngine()
+		r := &recorder{}
+		var scheduled []stamped
+		var seq int64
+		count := int(n) + 1
+		for i := 0; i < count; i++ {
+			// Bias toward scheduling; interleave Steps to exercise pops
+			// against a part-drained heap.
+			if rng.IntN(4) != 0 || e.Pending() == 0 {
+				at := e.Now() + Time(rng.Int64N(100))
+				scheduled = append(scheduled, stamped{at: at, seq: seq})
+				if rng.IntN(2) == 0 {
+					e.ScheduleEvent(at, r, EventArg{I64: seq})
+				} else {
+					s := seq
+					e.Schedule(at, func() { r.OnEvent(e, EventArg{I64: s}) })
+				}
+				seq++
+			} else {
+				e.Step()
+			}
+		}
+		e.Run()
+		// Reference order: stable sort by at; seq is the insertion order.
+		sort.SliceStable(scheduled, func(i, j int) bool { return scheduled[i].at < scheduled[j].at })
+		if len(r.args) != len(scheduled) {
+			return false
+		}
+		for i, want := range scheduled {
+			if r.args[i] != want.seq || r.times[i] != want.at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Differential: the rewritten kernel executes random schedules in
+// exactly the order the frozen container/heap baseline does, including
+// re-entrant scheduling from inside events.  This is the kernel-level
+// form of the "experiment outputs are byte-identical" guarantee.
+func TestEngineMatchesBaseline(t *testing.T) {
+	run := func(schedule func(at Time, fn func()), now func() Time, drain func()) []Time {
+		rng := rand.New(rand.NewPCG(11, 13))
+		var observed []Time
+		var rec func(depth int) func()
+		rec = func(depth int) func() {
+			return func() {
+				observed = append(observed, now())
+				if depth < 2 {
+					schedule(now()+Time(rng.Int64N(50)), rec(depth+1))
+				}
+			}
+		}
+		for i := 0; i < 500; i++ {
+			schedule(Time(rng.Int64N(10_000)), rec(0))
+		}
+		drain()
+		return observed
+	}
+	e := NewEngine()
+	b := NewBaselineEngine()
+	got := run(e.Schedule, e.Now, e.Run)
+	want := run(b.Schedule, b.Now, b.Run)
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, baseline ran %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch %d at %v, baseline at %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The closure-free path must not allocate once the heap slice has grown
+// to its working size.
+func TestScheduleEventSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{}
+	arg := EventArg{I64: 1}
+	// Warm up the heap slice and the recorder's slices.
+	for i := 0; i < 1024; i++ {
+		e.ScheduleEvent(Time(i), r, arg)
+	}
+	e.Run()
+	r.times, r.args = r.times[:0], r.args[:0]
+	at := e.Now()
+	allocs := testing.AllocsPerRun(512, func() {
+		at++
+		e.ScheduleEvent(at, r, arg)
+		e.Step()
+		r.times, r.args = r.times[:0], r.args[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScheduleEvent+Step allocates %v per op, want 0", allocs)
+	}
+}
+
 func TestDurationConversions(t *testing.T) {
 	if FromSeconds(1.5) != 1500*Millisecond {
 		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
@@ -178,14 +409,61 @@ func TestDurationConversions(t *testing.T) {
 	}
 }
 
+// nopHandler is the benchmark's closure-free callback.
+type nopHandler struct{}
+
+func (nopHandler) OnEvent(*Engine, EventArg) {}
+
+// BenchmarkEngineScheduleRun schedules and drains 1000 randomly-timed
+// events per iteration.  Sub-benchmarks compare the frozen
+// container/heap baseline, the legacy closure wrapper on the new
+// kernel, and the closure-free handler path (which must report
+// 0 allocs/op once the engine is reused across iterations).
 func BenchmarkEngineScheduleRun(b *testing.B) {
-	rng := rand.New(rand.NewPCG(1, 2))
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		for j := 0; j < 1000; j++ {
-			e.Schedule(Time(rng.Int64N(1_000_000)), func() {})
-		}
-		e.Run()
+	const events = 1000
+	reportRate := func(b *testing.B) {
+		b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/sec")
 	}
+
+	b.Run("baseline-container-heap", func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(1, 2))
+		e := NewBaselineEngine()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < events; j++ {
+				e.Schedule(e.Now()+Time(rng.Int64N(1_000_000)), func() {})
+			}
+			e.Run()
+		}
+		reportRate(b)
+	})
+
+	b.Run("closure", func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(1, 2))
+		e := NewEngine()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < events; j++ {
+				e.Schedule(e.Now()+Time(rng.Int64N(1_000_000)), func() {})
+			}
+			e.Run()
+		}
+		reportRate(b)
+	})
+
+	b.Run("closure-free", func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(1, 2))
+		e := NewEngine()
+		e.Grow(events)
+		var h nopHandler
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < events; j++ {
+				e.ScheduleEvent(e.Now()+Time(rng.Int64N(1_000_000)), h, EventArg{})
+			}
+			e.Run()
+		}
+		reportRate(b)
+	})
 }
