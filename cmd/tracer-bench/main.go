@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep]
-//	             [-duration D] [-outdir DIR] [-workers N]
+//	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
 // out across -workers goroutines; results are deterministic at any
@@ -195,15 +195,24 @@ var table = []experiment{
 	{"kernel", benchKernel},
 }
 
+// sweepTrace optionally replaces the synthetic mode grid with one
+// trace file loaded from disk (-trace flag).
+var sweepTrace string
+
 // runSweep is the scaled 125-trace sweep of Section VI step 1: by
 // default it samples a 3x3x3 mode grid at 4 load levels; -duration and
-// editing the grid scale it up to the paper's full 1250 runs.
+// editing the grid scale it up to the paper's full 1250 runs.  With
+// -trace FILE the grid is replaced by that one .replay trace, measured
+// at the same load levels.
 //
 // The sweep runs in two parallel phases: every mode's peak trace is
 // collected first, then the whole (trace, load) grid is flattened into
 // one cell list and fanned across the worker pool.  Output order is
 // identical to the old nested sequential loops.
 func runSweep(cfg experiments.Config, w io.Writer) error {
+	if sweepTrace != "" {
+		return runTraceSweep(cfg, sweepTrace, w)
+	}
 	sizes := []int64{4 << 10, 64 << 10, 1 << 20}
 	ratios := []float64{0, 0.5, 1}
 	loads := []float64{0.25, 0.5, 0.75, 1.0}
@@ -245,6 +254,33 @@ func runSweep(cfg experiments.Config, w io.Writer) error {
 	return nil
 }
 
+// runTraceSweep measures one on-disk .replay trace at the sweep's load
+// levels.  A truncated or corrupt file surfaces as a labelled error
+// (non-zero exit), never a panic.
+func runTraceSweep(cfg experiments.Config, path string, w io.Writer) error {
+	tr, err := blktrace.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("sweep: load trace %s: %w", path, err)
+	}
+	loads := []float64{0.25, 0.5, 0.75, 1.0}
+	opts := parsweep.Options{Workers: cfg.Workers}
+	opts.Label = func(i int) string { return fmt.Sprintf("%s load %v", filepath.Base(path), loads[i]) }
+	cells, err := parsweep.Map(context.Background(), opts, len(loads),
+		func(i int) (*experiments.Measurement, error) {
+			return experiments.MeasureAtLoad(cfg, experiments.HDDArray, tr, loads[i])
+		})
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	fmt.Fprintln(w, "trace\tload%\tIOPS\tMBPS\twatts\tIOPS/W\tMBPS/kW")
+	for _, m := range cells {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.3f\t%.1f\t%.3f\t%.2f\n",
+			filepath.Base(path), m.Load*100, m.Result.IOPS, m.Result.MBPS, m.Power,
+			m.Eff.IOPSPerWatt, m.Eff.MBPSPerKW)
+	}
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracer-bench", flag.ContinueOnError)
 	names := fs.String("run", "all", "comma-separated experiment names or 'all'")
@@ -255,10 +291,12 @@ func run(args []string, out io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	benchout := fs.String("benchout", benchOut, "kernel experiment: JSON report path")
+	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	benchOut = *benchout
+	sweepTrace = *traceFile
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

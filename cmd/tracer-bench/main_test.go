@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/simtime"
+	"repro/internal/storage"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -73,5 +78,47 @@ func TestProfileFlags(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Fatalf("profile %s is empty", p)
 		}
+	}
+}
+
+// TestSweepTraceFlagReplaysFile drives the sweep experiment from an
+// on-disk .replay trace instead of the synthetic grid.
+func TestSweepTraceFlagReplaysFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.replay")
+	b := blktrace.NewBuilder("tiny")
+	for i := 0; i < 20; i++ {
+		if err := b.Record(simtime.Duration(i)*50*simtime.Millisecond, blktrace.IOPackage{
+			Sector: int64(i) * 128, Size: 16 << 10, Op: storage.Read}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := blktrace.WriteFile(path, b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "sweep", "-trace", path, "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tiny.replay") || strings.Count(out, "\n") < 5 {
+		t.Fatalf("sweep -trace output: %s", out)
+	}
+}
+
+// TestSweepTraceFlagTruncated is the satellite regression: a .replay
+// file cut mid-bunch must surface as a labelled error carrying
+// blktrace.ErrBadFormat, never a panic.
+func TestSweepTraceFlagTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-run", "sweep", "-trace", "../../internal/check/testdata/corrupt/truncated.replay"}, &buf)
+	if err == nil {
+		t.Fatal("sweep accepted a truncated trace")
+	}
+	if !errors.Is(err, blktrace.ErrBadFormat) {
+		t.Fatalf("error does not wrap ErrBadFormat: %v", err)
+	}
+	if !strings.Contains(err.Error(), "truncated.replay") || !strings.Contains(err.Error(), "load trace") {
+		t.Fatalf("error not labelled: %v", err)
 	}
 }

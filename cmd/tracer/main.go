@@ -17,6 +17,7 @@
 //	tracer merge     -repo DIR -traces A,B[,C...] [-label L]
 //	tracer remap     -repo DIR -trace NAME -from-bytes N -to-bytes N
 //	tracer dump      -repo DIR -trace NAME [-n 10]
+//	tracer verify    [-golden DIR] [-update] [-tol F]
 package main
 
 import (
@@ -77,6 +78,8 @@ func run(args []string, out io.Writer) error {
 		return cmdRemap(args[1:], out)
 	case "dump":
 		return cmdDump(args[1:], out)
+	case "verify":
+		return cmdVerify(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -88,7 +91,7 @@ func run(args []string, out io.Writer) error {
 
 func usage(out io.Writer) {
 	fmt.Fprintln(out, `tracer — load-controllable energy-efficiency evaluation for storage systems
-subcommands: collect, gen-real, repo, stats, test, query, convert, slice, merge, remap, dump`)
+subcommands: collect, gen-real, repo, stats, test, query, convert, slice, merge, remap, dump, verify`)
 }
 
 // cmdCollect builds peak synthetic traces into a repository.

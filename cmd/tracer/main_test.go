@@ -178,3 +178,57 @@ func TestTraceToolErrors(t *testing.T) {
 		}
 	}
 }
+
+// goldenCorpusDir is the committed conformance corpus, relative to this
+// package's directory (the test working directory).
+const goldenCorpusDir = "../../internal/check/testdata/golden"
+
+func TestVerifyCommandPassesOnCommittedCorpus(t *testing.T) {
+	out := runOK(t, "verify", "-golden", goldenCorpusDir)
+	if !strings.Contains(out, "golden corpus verified") || strings.Count(out, "PASS") < 3 {
+		t.Fatalf("verify output: %s", out)
+	}
+}
+
+func TestVerifyCommandUpdateRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	traces, err := filepath.Glob(filepath.Join(goldenCorpusDir, "*.trace.txt"))
+	if err != nil || len(traces) == 0 {
+		t.Fatalf("no corpus traces: %v", err)
+	}
+	blob, err := os.ReadFile(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, filepath.Base(traces[0])), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "verify", "-golden", dir, "-update")
+	if !strings.Contains(out, "UPDATED") {
+		t.Fatalf("update output: %s", out)
+	}
+	out = runOK(t, "verify", "-golden", dir)
+	if !strings.Contains(out, "golden corpus verified") {
+		t.Fatalf("post-update verify output: %s", out)
+	}
+}
+
+// TestVerifyCommandTruncatedFixture is the satellite regression: a
+// fixture truncated mid-bunch must produce a labelled error and a
+// non-zero exit path, not a panic.
+func TestVerifyCommandTruncatedFixture(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "cut.trace.txt")
+	text := "# blktrace-text v1\ndevice cut\nB 0 4\n0 4096 R\n8 4096 W\n"
+	if err := os.WriteFile(bad, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"verify", "-golden", dir}, &buf)
+	if err == nil {
+		t.Fatal("verify accepted a truncated fixture")
+	}
+	if !strings.Contains(err.Error(), "cut.trace.txt") || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error not labelled: %v", err)
+	}
+}

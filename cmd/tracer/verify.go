@@ -1,0 +1,31 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/check"
+)
+
+// cmdVerify re-runs the golden conformance corpus: every fixture trace
+// is replayed on both simulated arrays with the physics-invariant suite
+// armed, and the results are diffed against the committed golden JSON
+// with tolerance-aware comparison.  -update regenerates the JSON after
+// an intentional model change.
+func cmdVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	dir := fs.String("golden", "internal/check/testdata/golden", "golden fixture directory")
+	update := fs.Bool("update", false, "regenerate the golden outputs instead of diffing")
+	tol := fs.Float64("tol", check.DefaultTol, "relative tolerance for float comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := check.VerifyGolden(*dir, *update, *tol, out); err != nil {
+		return err
+	}
+	if !*update {
+		fmt.Fprintln(out, "golden corpus verified")
+	}
+	return nil
+}

@@ -382,10 +382,25 @@ func readFrom(br *bufio.Reader, pkgHint int) (*Trace, error) {
 		return nil, fmt.Errorf("%w: bunch count: %v", ErrBadFormat, err)
 	}
 	nb := int(binary.LittleEndian.Uint32(cnt[:]))
+	// A corrupt or truncated file can carry arbitrary counts; bound
+	// every preallocation so decoding fails with ErrBadFormat instead of
+	// attempting a gigantic allocation.  Each bunch needs at least a
+	// 12-byte header, and each package exactly pkgRecordSize bytes, so
+	// the file-size hint caps both counts.  In stream mode (no hint) the
+	// caps fall back to modest growth chunks; a lying count then fails
+	// at the next ReadFull.
+	if pkgHint > 0 && nb > pkgHint {
+		return nil, fmt.Errorf("%w: bunch count %d exceeds file size", ErrBadFormat, nb)
+	}
 	t := &Trace{Device: string(dev)}
 	if nb > 0 {
-		t.Bunches = make([]Bunch, 0, nb)
+		capHint := nb
+		if capHint > arenaChunk && pkgHint == 0 {
+			capHint = arenaChunk
+		}
+		t.Bunches = make([]Bunch, 0, capHint)
 	}
+	totalPkgs := 0
 	for i := 0; i < nb; i++ {
 		var bh [12]byte
 		if _, err := io.ReadFull(br, bh[:]); err != nil {
@@ -393,7 +408,20 @@ func readFrom(br *bufio.Reader, pkgHint int) (*Trace, error) {
 		}
 		bt := simtime.Duration(binary.LittleEndian.Uint64(bh[0:8]))
 		np := int(binary.LittleEndian.Uint32(bh[8:12]))
-		bunch := Bunch{Time: bt, Packages: arena.take(np)}
+		if np < 0 {
+			return nil, fmt.Errorf("%w: bunch %d package count %d", ErrBadFormat, i, np)
+		}
+		totalPkgs += np
+		if pkgHint > 0 && totalPkgs > pkgHint {
+			return nil, fmt.Errorf("%w: bunch %d: package count exceeds file size", ErrBadFormat, i)
+		}
+		take := np
+		if pkgHint == 0 && take > arenaChunk {
+			// Stream mode: trust the count only up to the growth chunk;
+			// genuine oversized bunches fall back to append growth.
+			take = arenaChunk
+		}
+		bunch := Bunch{Time: bt, Packages: arena.take(take)}
 		for j := 0; j < np; j++ {
 			var rec [17]byte
 			if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -468,7 +496,13 @@ func ReadText(r io.Reader) (*Trace, error) {
 			if err1 != nil || err2 != nil || np <= 0 {
 				return nil, fmt.Errorf("%w: line %d: bad bunch header %q", ErrBadFormat, lineNo, line)
 			}
-			t.Bunches = append(t.Bunches, Bunch{Time: simtime.Duration(ts), Packages: make([]IOPackage, 0, np)})
+			capNP := np
+			if capNP > arenaChunk {
+				// Don't let a corrupt count trigger a giant allocation;
+				// real oversized bunches grow by append.
+				capNP = arenaChunk
+			}
+			t.Bunches = append(t.Bunches, Bunch{Time: simtime.Duration(ts), Packages: make([]IOPackage, 0, capNP)})
 			pending = np
 		default:
 			if pending == 0 {

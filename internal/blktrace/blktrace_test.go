@@ -3,6 +3,8 @@ package blktrace
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -415,5 +417,76 @@ func TestArenaChunkFallback(t *testing.T) {
 	}
 	if !reflect.DeepEqual(tr, got) {
 		t.Fatal("chunked-arena decode mismatch")
+	}
+}
+
+// tamperCount rewrites a little-endian u32 at off in a copy of blob.
+func tamperCount(blob []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(out[off:off+4], v)
+	return out
+}
+
+// TestReadFileRejectsLyingCounts covers the corrupt-count hardening: a
+// file whose bunch or package count exceeds what its size could hold
+// must fail with ErrBadFormat immediately instead of attempting a
+// gigantic allocation.
+func TestReadFileRejectsLyingCounts(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	devlen := len(tr.Device)
+	nbOff := 8 + 4 + devlen  // magic + version/devlen + name
+	npOff := nbOff + 4 + 8   // + bunch count + first bunch time
+
+	dir := t.TempDir()
+	for name, doctored := range map[string][]byte{
+		"bunch-count":   tamperCount(blob, nbOff, 0xfffffff0),
+		"package-count": tamperCount(blob, npOff, 0xfffffff0),
+	} {
+		path := filepath.Join(dir, name+".replay")
+		if err := os.WriteFile(path, doctored, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadFile(path)
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "exceeds file size") {
+			t.Errorf("%s: error not labelled: %v", name, err)
+		}
+	}
+}
+
+// TestReadStreamLyingCountsFailFast covers the no-hint path: with no
+// file size to bound counts, preallocation is capped so a lying header
+// fails at the next read instead of OOM-ing.
+func TestReadStreamLyingCountsFailFast(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	nbOff := 8 + 4 + len(sampleTrace().Device)
+	npOff := nbOff + 4 + 8
+	for name, doctored := range map[string][]byte{
+		"bunch-count":   tamperCount(blob, nbOff, 0xfffffff0),
+		"package-count": tamperCount(blob, npOff, 0xfffffff0),
+	} {
+		if _, err := Read(bytes.NewReader(doctored)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: stream err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+// TestReadTextLyingPackageCountNoOOM: a text bunch header claiming a
+// huge package count must not preallocate it.
+func TestReadTextLyingPackageCountNoOOM(t *testing.T) {
+	text := "# blktrace-text v1\ndevice d\nB 0 2000000000\n0 512 R\n"
+	if _, err := ReadText(strings.NewReader(text)); err == nil {
+		t.Fatal("ReadText accepted a truncated bunch with a lying count")
 	}
 }

@@ -1,0 +1,208 @@
+// Randomized differential testing: a seeded trace fuzzer producing
+// arbitrary-but-valid bunch structures, and a random re-entrant event
+// schedule replayed through both simulation kernels.  All randomness is
+// seeded PCG, so every property failure reproduces from its seed.
+package check
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/blktrace"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// FuzzParams bound the shape of a generated trace.
+type FuzzParams struct {
+	// Seed drives the generator; equal seeds yield equal traces.
+	Seed uint64
+	// MaxBunches bounds the bunch count (at least 1 is generated).
+	MaxBunches int
+	// MaxBunchSize bounds packages per bunch.
+	MaxBunchSize int
+	// MaxGap bounds the interarrival between consecutive bunches;
+	// gaps of zero (coalesced arrivals) are generated deliberately.
+	MaxGap simtime.Duration
+	// MaxSector bounds starting sectors.
+	MaxSector int64
+	// MaxKB bounds request sizes (in KiB, at least 1).
+	MaxKB int64
+}
+
+// DefaultFuzzParams generate small traces suited to exhaustive replay
+// in unit tests.
+func DefaultFuzzParams(seed uint64) FuzzParams {
+	return FuzzParams{
+		Seed:         seed,
+		MaxBunches:   40,
+		MaxBunchSize: 6,
+		MaxGap:       20 * simtime.Millisecond,
+		MaxSector:    1 << 22, // 2 GiB span
+		MaxKB:        256,
+	}
+}
+
+// RandomTrace generates a structurally valid trace: non-decreasing
+// bunch times (duplicates allowed per the format, though the builder
+// merges them), non-empty bunches, positive sizes.  Everything the
+// binary and text codecs must round-trip.
+func RandomTrace(p FuzzParams) *blktrace.Trace {
+	if p.MaxBunches < 1 {
+		p.MaxBunches = 1
+	}
+	if p.MaxBunchSize < 1 {
+		p.MaxBunchSize = 1
+	}
+	if p.MaxKB < 1 {
+		p.MaxKB = 1
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0xfacade))
+	t := &blktrace.Trace{Device: fmt.Sprintf("fuzz-%d", p.Seed)}
+	n := 1 + rng.IntN(p.MaxBunches)
+	var at simtime.Duration
+	for i := 0; i < n; i++ {
+		if i > 0 && p.MaxGap > 0 && rng.IntN(8) > 0 {
+			// Mostly advance; 1-in-8 bunches share the previous
+			// timestamp's instant exactly (gap 0 exercises ties).
+			at += simtime.Duration(rng.Int64N(int64(p.MaxGap)))
+		}
+		np := 1 + rng.IntN(p.MaxBunchSize)
+		b := blktrace.Bunch{Time: at, Packages: make([]blktrace.IOPackage, 0, np)}
+		for j := 0; j < np; j++ {
+			op := storage.Read
+			if rng.IntN(2) == 1 {
+				op = storage.Write
+			}
+			b.Packages = append(b.Packages, blktrace.IOPackage{
+				Sector: rng.Int64N(p.MaxSector + 1),
+				Size:   (1 + rng.Int64N(p.MaxKB)) << 10,
+				Op:     op,
+			})
+		}
+		t.Bunches = append(t.Bunches, b)
+	}
+	return t
+}
+
+// fireLog records the execution order of a random schedule: node id and
+// firing time.
+type fireLog struct {
+	ids   []int
+	times []simtime.Time
+}
+
+// schedNode is one event of a random re-entrant schedule: fired at its
+// parent's time plus delta, then scheduling its children.
+type schedNode struct {
+	delta    simtime.Duration
+	children []int
+}
+
+// randomSchedule builds a forest of re-entrant events: roots are
+// scheduled up front, and every node schedules its children when it
+// fires — exercising in-flight Schedule calls, same-time FIFO ties and
+// heap growth in both kernels identically.
+func randomSchedule(seed uint64, nodes int) (roots []int, all []schedNode) {
+	rng := rand.New(rand.NewPCG(seed, 0xd1ff))
+	all = make([]schedNode, nodes)
+	for i := range all {
+		// Half the deltas collide on a few hot timestamps to force
+		// (at, seq) tie-breaks; the rest spread out.
+		var d simtime.Duration
+		if rng.IntN(2) == 0 {
+			d = simtime.Duration(rng.Int64N(4)) * simtime.Millisecond
+		} else {
+			d = simtime.Duration(rng.Int64N(int64(simtime.Second)))
+		}
+		all[i].delta = d
+		if i == 0 || rng.IntN(3) == 0 {
+			roots = append(roots, i)
+		} else {
+			parent := rng.IntN(i)
+			all[parent].children = append(all[parent].children, i)
+		}
+	}
+	return roots, all
+}
+
+// kernelHandler replays a schedule on the value-typed Engine via the
+// closure-free Handler interface; arg.I64 carries the node id.
+type kernelHandler struct {
+	nodes []schedNode
+	log   *fireLog
+}
+
+// OnEvent implements simtime.Handler.
+func (h *kernelHandler) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
+	id := int(arg.I64)
+	now := e.Now()
+	h.log.ids = append(h.log.ids, id)
+	h.log.times = append(h.log.times, now)
+	for _, c := range h.nodes[c0(id, h.nodes)].children {
+		e.ScheduleEvent(now.Add(h.nodes[c].delta), h, simtime.EventArg{I64: int64(c)})
+	}
+}
+
+// c0 exists only to keep the child lookup obviously in-bounds.
+func c0(id int, nodes []schedNode) int {
+	if id < 0 || id >= len(nodes) {
+		panic("check: schedule node id out of range")
+	}
+	return id
+}
+
+// KernelDiff replays one random re-entrant schedule of n events through
+// the production Engine and the frozen BaselineEngine and compares the
+// complete execution order, including timestamps.  Any divergence in
+// heap ordering, FIFO tie-breaking or clock advance between the two
+// kernels returns a descriptive error.
+func KernelDiff(seed uint64, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	roots, nodes := randomSchedule(seed, n)
+
+	var prodLog fireLog
+	prod := simtime.NewEngine()
+	h := &kernelHandler{nodes: nodes, log: &prodLog}
+	for _, r := range roots {
+		prod.ScheduleEvent(prod.Now().Add(nodes[r].delta), h, simtime.EventArg{I64: int64(r)})
+	}
+	prod.Run()
+
+	var baseLog fireLog
+	base := simtime.NewBaselineEngine()
+	var scheduleOn func(id int, at simtime.Time)
+	scheduleOn = func(id int, at simtime.Time) {
+		base.Schedule(at, func() {
+			now := base.Now()
+			baseLog.ids = append(baseLog.ids, id)
+			baseLog.times = append(baseLog.times, now)
+			for _, c := range nodes[id].children {
+				scheduleOn(c, now.Add(nodes[c].delta))
+			}
+		})
+	}
+	for _, r := range roots {
+		scheduleOn(r, base.Now().Add(nodes[r].delta))
+	}
+	base.Run()
+
+	if len(prodLog.ids) != len(baseLog.ids) {
+		return fmt.Errorf("check: seed %d: engine fired %d events, baseline %d", seed, len(prodLog.ids), len(baseLog.ids))
+	}
+	if len(prodLog.ids) != n {
+		return fmt.Errorf("check: seed %d: fired %d of %d events", seed, len(prodLog.ids), n)
+	}
+	for i := range prodLog.ids {
+		if prodLog.ids[i] != baseLog.ids[i] || prodLog.times[i] != baseLog.times[i] {
+			return fmt.Errorf("check: seed %d: step %d diverges: engine (node %d at %v) vs baseline (node %d at %v)",
+				seed, i, prodLog.ids[i], prodLog.times[i], baseLog.ids[i], baseLog.times[i])
+		}
+	}
+	if prod.Now() != base.Now() {
+		return fmt.Errorf("check: seed %d: final clocks diverge: %v vs %v", seed, prod.Now(), base.Now())
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package check
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/experiments"
+	"repro/internal/replay"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+// TestRandomTraceValidAndRoundTrips is the codec differential property:
+// every fuzzed trace must validate, survive the binary codec
+// bit-for-bit, survive the text codec, and the two decoded forms must
+// agree with each other.
+func TestRandomTraceValidAndRoundTrips(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		tr := RandomTrace(DefaultFuzzParams(seed))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+
+		var bin bytes.Buffer
+		if err := blktrace.Write(&bin, tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fromBin, err := blktrace.Read(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: binary decode: %v", seed, err)
+		}
+
+		var txt bytes.Buffer
+		if err := blktrace.WriteText(&txt, tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fromTxt, err := blktrace.ReadText(bytes.NewReader(txt.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: text decode: %v", seed, err)
+		}
+
+		for name, got := range map[string]*blktrace.Trace{"binary": fromBin, "text": fromTxt} {
+			if got.Device != tr.Device {
+				t.Fatalf("seed %d: %s device %q != %q", seed, name, got.Device, tr.Device)
+			}
+			if !reflect.DeepEqual(got.Bunches, tr.Bunches) {
+				t.Fatalf("seed %d: %s round-trip diverged", seed, name)
+			}
+		}
+	}
+}
+
+// TestKernelMatchesBaseline replays seeded random re-entrant schedules
+// through the 4-ary value-typed Engine and the frozen container/heap
+// BaselineEngine: execution order, timestamps and final clocks must be
+// identical.
+func TestKernelMatchesBaseline(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		if err := KernelDiff(seed, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReplayDeterministicAcrossWorkers runs the same sweep with a
+// sequential executor and an 8-way pool: every cell is an isolated
+// seeded simulation, so all measured numbers must match bit for bit.
+func TestReplayDeterministicAcrossWorkers(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.CollectDuration = 200 * simtime.Millisecond
+	cfg.HDDs = 3
+	cfg.Loads = []float64{0.3, 0.7, 1.0}
+
+	run := func(workers int) []experiments.Measurement {
+		c := cfg
+		c.Workers = workers
+		ms, err := experiments.ModeSweep(c, experiments.HDDArray,
+			synth.Mode{RequestBytes: 16 << 10, ReadRatio: 0.5, RandomRatio: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms
+	}
+	seq := run(1)
+	par := run(8)
+	if len(seq) != len(par) || len(seq) == 0 {
+		t.Fatalf("sweep lengths: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.Load != b.Load || a.Power != b.Power ||
+			a.Result.IOPS != b.Result.IOPS || a.Result.MBPS != b.Result.MBPS ||
+			a.Result.Completed != b.Result.Completed ||
+			a.Result.MeanResponse != b.Result.MeanResponse ||
+			a.Eff.IOPSPerWatt != b.Eff.IOPSPerWatt {
+			t.Fatalf("cell %d diverges across worker counts:\nseq: %+v\npar: %+v", i, a, b)
+		}
+	}
+}
+
+// TestLoadScalingMonotonic is the metamorphic load-control property:
+// raising the configured proportion can only densify arrivals, so the
+// filtered trace's mean interarrival time is non-increasing in the
+// proportion, and its duration is invariant (the uniform filter always
+// keeps the last bunch of every group).
+func TestLoadScalingMonotonic(t *testing.T) {
+	p := DefaultFuzzParams(7)
+	p.MaxBunches = 200
+	for seed := uint64(7); seed <= 9; seed++ {
+		p.Seed = seed
+		tr := RandomTrace(p)
+		if tr.NumBunches() < 20 {
+			continue
+		}
+		prev := -1.0
+		for _, load := range []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0} {
+			f := replay.UniformFilter{Proportion: load}.Apply(tr)
+			if f.Duration() != tr.Duration() {
+				t.Fatalf("seed %d load %v: filtered duration %v != original %v", seed, load, f.Duration(), tr.Duration())
+			}
+			if f.NumBunches() < 2 {
+				continue
+			}
+			mean := f.Duration().Seconds() / float64(f.NumBunches()-1)
+			if prev >= 0 && mean > prev*(1+1e-12) {
+				t.Fatalf("seed %d: mean interarrival rose from %.9g to %.9g at load %v", seed, prev, mean, load)
+			}
+			prev = mean
+		}
+	}
+}

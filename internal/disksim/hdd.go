@@ -322,6 +322,41 @@ func (d *HDD) SetRPMFraction(frac float64) bool {
 	return true
 }
 
+// CheckInvariants verifies the drive's internal accounting against the
+// physics it models.  It is meaningful once the simulation has drained
+// (no request in flight); call it after engine.Run returns.  now is the
+// engine clock, bounding wall time since the drive was created at time
+// zero.
+func (d *HDD) CheckInvariants(now simtime.Time) error {
+	if d.inflight.done != nil {
+		return fmt.Errorf("disksim: %s: request still in flight at %v", d.params.Name, now)
+	}
+	s := d.stats
+	if s.BusyTime < 0 || s.SeekTime < 0 || s.TransferTime < 0 {
+		return fmt.Errorf("disksim: %s: negative time accounting %+v", d.params.Name, s)
+	}
+	if s.BusyTime > now.Sub(0) {
+		return fmt.Errorf("disksim: %s: busy time %v exceeds wall time %v", d.params.Name, s.BusyTime, now)
+	}
+	want := s.SeekTime + s.TransferTime + simtime.Duration(s.Served)*d.params.CmdOverhead
+	if s.BusyTime != want {
+		return fmt.Errorf("disksim: %s: busy time %v != seek %v + transfer %v + %d cmd overheads (%v)",
+			d.params.Name, s.BusyTime, s.SeekTime, s.TransferTime, s.Served, want)
+	}
+	if s.Seeks > s.Served {
+		return fmt.Errorf("disksim: %s: %d seeks for %d served requests", d.params.Name, s.Seeks, s.Served)
+	}
+	if s.BytesRead < 0 || s.BytesWritten < 0 {
+		return fmt.Errorf("disksim: %s: negative byte counters %+v", d.params.Name, s)
+	}
+	return d.power.CheckMonotone()
+}
+
+// ServedOps reports the number of member-disk requests completed; the
+// conformance layer cross-checks it against the RAID controller's
+// issued-operation counters.
+func (d *HDD) ServedOps() int64 { return d.stats.Served }
+
 // Submit implements storage.Device.
 func (d *HDD) Submit(req storage.Request, done func(simtime.Time)) {
 	if err := req.Validate(0); err != nil {

@@ -158,6 +158,38 @@ func (d *SSD) Stats() SSDStats { return d.stats }
 // QueueDepth reports queued-but-unstarted requests.
 func (d *SSD) QueueDepth() int { return len(d.queue) }
 
+// CheckInvariants verifies the device's internal accounting.  It is
+// meaningful once the simulation has drained; call it after engine.Run
+// returns.  now is the engine clock, bounding wall time since the
+// device was created at time zero.
+func (d *SSD) CheckInvariants(now simtime.Time) error {
+	if d.inflight.done != nil {
+		return fmt.Errorf("disksim: %s: request still in flight at %v", d.params.Name, now)
+	}
+	s := d.stats
+	if s.BusyTime < 0 {
+		return fmt.Errorf("disksim: %s: negative busy time %v", d.params.Name, s.BusyTime)
+	}
+	if s.BusyTime > now.Sub(0) {
+		return fmt.Errorf("disksim: %s: busy time %v exceeds wall time %v", d.params.Name, s.BusyTime, now)
+	}
+	if min := simtime.Duration(s.Served) * d.params.CmdOverhead; s.BusyTime < min {
+		return fmt.Errorf("disksim: %s: busy time %v below %d command overheads (%v)", d.params.Name, s.BusyTime, s.Served, min)
+	}
+	if s.GCAmplifiedWrites > s.Served {
+		return fmt.Errorf("disksim: %s: %d GC-amplified writes for %d served requests", d.params.Name, s.GCAmplifiedWrites, s.Served)
+	}
+	if s.BytesRead < 0 || s.BytesWritten < 0 {
+		return fmt.Errorf("disksim: %s: negative byte counters %+v", d.params.Name, s)
+	}
+	return d.power.Timeline().CheckMonotone()
+}
+
+// ServedOps reports the number of requests completed; the conformance
+// layer cross-checks it against the RAID controller's issued-operation
+// counters.
+func (d *SSD) ServedOps() int64 { return d.stats.Served }
+
 // Submit implements storage.Device.
 func (d *SSD) Submit(req storage.Request, done func(simtime.Time)) {
 	if err := req.Validate(0); err != nil {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func sampleRecord(load float64) Record {
@@ -149,5 +150,84 @@ func TestConcurrentAccess(t *testing.T) {
 			t.Fatalf("duplicate id %d", r.ID)
 		}
 		seen[r.ID] = true
+	}
+}
+
+// TestInsertDuplicateRecords: inserting the same record twice must
+// produce two rows with distinct IDs, and a caller-supplied ID is
+// ignored rather than trusted.
+func TestInsertDuplicateRecords(t *testing.T) {
+	db := NewDB()
+	rec := sampleRecord(0.5)
+	rec.ID = 777 // must be ignored
+	id1 := db.Insert(rec)
+	id2 := db.Insert(rec)
+	if id1 == id2 {
+		t.Fatalf("duplicate insert reused id %d", id1)
+	}
+	if id1 == 777 || id2 == 777 {
+		t.Fatal("caller-supplied ID was trusted")
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", db.Len())
+	}
+	a, _ := db.Get(id1)
+	b, _ := db.Get(id2)
+	if a.Perf != b.Perf || a.Power != b.Power || a.Mode != b.Mode {
+		t.Fatal("duplicate rows diverged beyond ID/time")
+	}
+}
+
+// TestSaveLoadPreservesAllFields round-trips a record with every
+// schema field populated, including the omitempty ones, and demands
+// exact equality after reload.
+func TestSaveLoadPreservesAllFields(t *testing.T) {
+	full := Record{
+		TestTime:  time.Date(2026, 8, 5, 12, 30, 0, 0, time.UTC),
+		Device:    "raid5-ssd",
+		TraceName: "fin2.replay",
+		Mode: ModeVector{
+			RequestBytes:   8192,
+			ReadRatio:      0.25,
+			RandomRatio:    0.75,
+			LoadProportion: 0.6,
+		},
+		Power: PowerData{
+			MeanWatts: 95.5, MeanVolts: 219.8, MeanAmps: 0.4345,
+			EnergyJ: 11460.0, Samples: 240,
+		},
+		Perf: PerfData{
+			IOPS: 1234.5, MBPS: 9.876,
+			MeanResponseMs: 7.25, MaxResponseMs: 91.5,
+			P95ResponseMs: 22.5, P99ResponseMs: 40.125,
+			DurationS: 120, IOs: 148140,
+		},
+		Efficiency: EfficiencyData{IOPSPerWatt: 12.926, MBPSPerKW: 103.41},
+		Notes:      "degraded mode, disk 2 failed",
+	}
+	db := NewDB()
+	id := db.Insert(full)
+
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded.Get(id)
+	if !ok {
+		t.Fatal("record lost across save/load")
+	}
+	want := full
+	want.ID = id
+	// Insert preserves a non-zero TestTime verbatim; UTC survives JSON.
+	if !got.TestTime.Equal(want.TestTime) {
+		t.Fatalf("TestTime = %v, want %v", got.TestTime, want.TestTime)
+	}
+	got.TestTime = want.TestTime
+	if got != want {
+		t.Fatalf("field drift across save/load:\n got %+v\nwant %+v", got, want)
 	}
 }

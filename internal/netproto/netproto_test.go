@@ -1,8 +1,13 @@
 package netproto
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"math/rand/v2"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -158,5 +163,128 @@ func TestConcurrentWriters(t *testing.T) {
 	<-done
 	if got != 4*n {
 		t.Fatalf("received %d frames, want %d", got, 4*n)
+	}
+}
+
+// TestRecvOversizedLengthPrefix exercises the receive-side guard: a raw
+// 4-byte header claiming a frame larger than MaxMessageBytes must be
+// rejected before any allocation, not after reading 16 MiB.
+func TestRecvOversizedLengthPrefix(t *testing.T) {
+	ra, rb := net.Pipe()
+	b := NewConn(rb)
+	defer ra.Close()
+	defer b.Close()
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxMessageBytes+1)
+		_, _ = ra.Write(hdr[:])
+	}()
+	if _, err := b.Recv(); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("Recv err = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+// TestRecvTruncatedFrame: a header promising 100 bytes followed by a
+// short write and a close must surface as a labelled truncation error.
+func TestRecvTruncatedFrame(t *testing.T) {
+	ra, rb := net.Pipe()
+	b := NewConn(rb)
+	defer b.Close()
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], 100)
+		_, _ = ra.Write(hdr[:])
+		_, _ = ra.Write([]byte(`{"type":"hello","seq":1,"bo`))
+		ra.Close()
+	}()
+	_, err := b.Recv()
+	if err == nil {
+		t.Fatal("Recv accepted a truncated frame")
+	}
+	if !strings.Contains(err.Error(), "truncated frame") {
+		t.Fatalf("error not labelled as truncation: %v", err)
+	}
+}
+
+// TestRecvPartialReads dribbles a valid frame one byte at a time across
+// separate writes; the reader must reassemble it.
+func TestRecvPartialReads(t *testing.T) {
+	ra, rb := net.Pipe()
+	b := NewConn(rb)
+	defer ra.Close()
+	defer b.Close()
+	frame, err := json.Marshal(Envelope{Type: TypeHello, Seq: 42,
+		Body: json.RawMessage(`{"role":"analyzer","name":"a0"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+		for _, blob := range [][]byte{hdr[:], frame} {
+			for _, c := range blob {
+				if _, err := ra.Write([]byte{c}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	env, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Hello
+	if err := DecodeBody(env, &h); err != nil {
+		t.Fatal(err)
+	}
+	if env.Seq != 42 || h.Role != "analyzer" || h.Name != "a0" {
+		t.Fatalf("reassembled frame wrong: %+v %+v", env, h)
+	}
+}
+
+// TestRoundTripRandomBodiesProperty sends seeded random message bodies
+// and asserts each decodes back to exactly what was sent.
+func TestRoundTripRandomBodiesProperty(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	rng := rand.New(rand.NewPCG(2026, 0x4e7))
+	const rounds = 64
+	want := make([]TestResult, rounds)
+	for i := range want {
+		want[i] = TestResult{
+			TraceName:      fmt.Sprintf("t%d.replay", rng.IntN(1000)),
+			Device:         "raid5-hdd",
+			LoadProportion: rng.Float64(),
+			IOPS:           rng.Float64() * 1e5,
+			MBPS:           rng.Float64() * 1e3,
+			MeanResponseMs: rng.Float64() * 50,
+			MaxResponseMs:  rng.Float64() * 500,
+			P95ResponseMs:  rng.Float64() * 100,
+			P99ResponseMs:  rng.Float64() * 200,
+			DurationS:      rng.Float64() * 600,
+			IOs:            rng.Int64N(1 << 40),
+		}
+	}
+	go func() {
+		for i := range want {
+			if err := a.Send(TypeTestResult, uint64(i), want[i]); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := range want {
+		env, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		var got TestResult
+		if err := DecodeBody(env, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("round %d: got %+v want %+v", i, got, want[i])
+		}
 	}
 }

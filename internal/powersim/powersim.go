@@ -457,3 +457,43 @@ func ApproxEqual(a, b, tol float64) bool {
 	denom := math.Max(math.Abs(a), math.Abs(b))
 	return math.Abs(a-b)/denom <= tol
 }
+
+// CheckMonotone verifies the timeline's structural invariant: step
+// times strictly increasing and every draw finite.  Set already rejects
+// time travel at write time; this re-validates the stored data so the
+// conformance layer can assert it after a full run.
+func (tl *Timeline) CheckMonotone() error {
+	for i := range tl.times {
+		if i > 0 && tl.times[i] <= tl.times[i-1] {
+			return fmt.Errorf("powersim: timeline step %d at %v does not advance past %v", i, tl.times[i], tl.times[i-1])
+		}
+		if math.IsNaN(tl.watts[i]) || math.IsInf(tl.watts[i], 0) {
+			return fmt.Errorf("powersim: timeline step %d has non-finite draw %v", i, tl.watts[i])
+		}
+	}
+	return nil
+}
+
+// VerifySampledEnergy checks that the energy implied by a noise-free
+// sample stream equals the source's own integral over the sampled
+// window, within relative tolerance tol: the meter must conserve
+// energy.  Samples must be contiguous and ordered, as Measure and
+// Ticker produce them.
+func VerifySampledEnergy(src Source, samples []Sample, tol float64) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Start != samples[i-1].End {
+			return fmt.Errorf("powersim: sample %d starts at %v but sample %d ended at %v", i, samples[i].Start, i-1, samples[i-1].End)
+		}
+	}
+	t0, t1 := samples[0].Start, samples[len(samples)-1].End
+	sampled := EnergyJ(samples)
+	integral := src.EnergyJ(t0, t1)
+	if !ApproxEqual(sampled, integral, tol) {
+		return fmt.Errorf("powersim: sampled energy %.9g J != timeline integral %.9g J over [%v, %v) (tol %g)",
+			sampled, integral, t0, t1, tol)
+	}
+	return nil
+}

@@ -260,6 +260,73 @@ func (a *Array) PowerSource() powersim.Source {
 	return powersim.PSU{Source: sum, Efficiency: eff, StandbyW: a.params.Chassis.PSUStandbyW}
 }
 
+// memberChecker is satisfied by disk models that can self-verify their
+// accounting (disksim.HDD and disksim.SSD); CheckInvariants delegates
+// to it without coupling raid to the concrete model types.
+type memberChecker interface {
+	CheckInvariants(now simtime.Time) error
+}
+
+// CheckInvariants verifies the controller's bookkeeping against the
+// RAID-5 write-path algebra and delegates to each member disk's own
+// self-check.  Call it after the simulation has drained.
+//
+// For a healthy RAID-5 run the read-modify-write accounting is exact:
+// every full-stripe write and every RMW stripe writes parity once, and
+// only RMW stripes pre-read parity.  Once the array has run degraded
+// (a failed member absorbed stripes or reconstruct-reads), parity
+// traffic may legitimately be skipped, so the equalities relax to
+// upper bounds.
+func (a *Array) CheckInvariants() error {
+	s := a.stats
+	degradedRan := s.DegradedStripes > 0 || s.ReconstructReads > 0 || a.failed >= 0
+	switch a.params.Level {
+	case RAID5:
+		if !degradedRan {
+			if s.ParityWrites != s.FullStripeWrites+s.RMWStripes {
+				return fmt.Errorf("raid: parity writes %d != full-stripe %d + RMW %d",
+					s.ParityWrites, s.FullStripeWrites, s.RMWStripes)
+			}
+			if s.ParityReads != s.RMWStripes {
+				return fmt.Errorf("raid: parity reads %d != RMW stripes %d", s.ParityReads, s.RMWStripes)
+			}
+		} else {
+			if s.ParityWrites > s.FullStripeWrites+s.RMWStripes {
+				return fmt.Errorf("raid: degraded parity writes %d exceed full-stripe %d + RMW %d",
+					s.ParityWrites, s.FullStripeWrites, s.RMWStripes)
+			}
+			if s.ParityReads > s.RMWStripes {
+				return fmt.Errorf("raid: degraded parity reads %d exceed RMW stripes %d", s.ParityReads, s.RMWStripes)
+			}
+		}
+	default:
+		if s.ParityReads != 0 || s.ParityWrites != 0 || s.FullStripeWrites != 0 || s.RMWStripes != 0 {
+			return fmt.Errorf("raid: %v recorded parity traffic %+v", a.params.Level, s)
+		}
+	}
+	if s.DiskWrites < s.ParityWrites {
+		return fmt.Errorf("raid: disk writes %d below parity writes %d", s.DiskWrites, s.ParityWrites)
+	}
+	if s.DiskReads < s.ParityReads {
+		return fmt.Errorf("raid: disk reads %d below parity reads %d", s.DiskReads, s.ParityReads)
+	}
+	if err := a.chassis.CheckMonotone(); err != nil {
+		return err
+	}
+	now := a.engine.Now()
+	for i, d := range a.disks {
+		if mc, ok := d.(memberChecker); ok {
+			if err := mc.CheckInvariants(now); err != nil {
+				return fmt.Errorf("raid: member %d: %w", i, err)
+			}
+		}
+		if err := d.Timeline().CheckMonotone(); err != nil {
+			return fmt.Errorf("raid: member %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // segment is one strip-aligned fragment of an array request mapped to a
 // member disk.
 type segment struct {

@@ -41,6 +41,20 @@ type Options struct {
 	// simulation drains, which always terminates for the device models
 	// in this repository).
 	Tail simtime.Duration
+	// Observer, when non-nil, receives every issue and completion as it
+	// happens.  The conformance layer (internal/check) uses it to
+	// assert causality and per-device FIFO ordering without adding any
+	// cost to unobserved runs.
+	Observer Observer
+}
+
+// Observer receives per-IO notifications from a replay run.  bunch is
+// the index of the originating bunch in the (possibly filtered) trace;
+// pkg is the package's index within that bunch.  Completion callbacks
+// fire from inside the simulation, so implementations must not block.
+type Observer interface {
+	ObserveIssue(bunch, pkg int, at simtime.Time)
+	ObserveComplete(bunch, pkg int, issued, finished simtime.Time)
 }
 
 // Interval is one sampling cycle's throughput record, matching the
@@ -114,6 +128,7 @@ func Replay(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, o
 		dev:         dev,
 		trace:       trace,
 		res:         res,
+		obs:         opts.Observer,
 		completions: make([]completion, 0, trace.NumIOs()),
 	}
 	engine.Grow(len(trace.Bunches))
@@ -137,17 +152,26 @@ type openLoopRun struct {
 	dev         storage.Device
 	trace       *blktrace.Trace
 	res         *Result
+	obs         Observer
 	completions []completion
 }
 
 // OnEvent implements simtime.Handler; arg.I64 is the bunch index.
 func (r *openLoopRun) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
 	issueTime := e.Now()
-	for _, p := range r.trace.Bunches[arg.I64].Packages {
+	bunch := int(arg.I64)
+	for pi, p := range r.trace.Bunches[arg.I64].Packages {
 		size := p.Size
 		r.res.Issued++
+		if r.obs != nil {
+			r.obs.ObserveIssue(bunch, pi, issueTime)
+		}
+		pkg := pi
 		r.dev.Submit(p.Request(), func(finish simtime.Time) {
 			r.res.Completed++
+			if r.obs != nil {
+				r.obs.ObserveComplete(bunch, pkg, issueTime, finish)
+			}
 			r.completions = append(r.completions, completion{
 				finish:   finish,
 				issue:    issueTime,
@@ -272,10 +296,17 @@ func ReplayClosedLoop(engine *simtime.Engine, dev storage.Device, trace *blktrac
 	nIOs := trace.NumIOs()
 	completions := make([]completion, 0, nIOs)
 
-	// Flatten to a request list preserving trace order.
-	pkgs := make([]blktrace.IOPackage, 0, nIOs)
+	// Flatten to a request list preserving trace order, remembering each
+	// package's (bunch, pkg) origin for the observer.
+	type flatPkg struct {
+		p          blktrace.IOPackage
+		bunch, pkg int
+	}
+	pkgs := make([]flatPkg, 0, nIOs)
 	for i := range trace.Bunches {
-		pkgs = append(pkgs, trace.Bunches[i].Packages...)
+		for pi, p := range trace.Bunches[i].Packages {
+			pkgs = append(pkgs, flatPkg{p: p, bunch: i, pkg: pi})
+		}
 	}
 	next := 0
 	var issue func()
@@ -283,16 +314,22 @@ func ReplayClosedLoop(engine *simtime.Engine, dev storage.Device, trace *blktrac
 		if next >= len(pkgs) {
 			return
 		}
-		p := pkgs[next]
+		fp := pkgs[next]
 		next++
 		res.Issued++
 		issueTime := engine.Now()
-		dev.Submit(p.Request(), func(finish simtime.Time) {
+		if opts.Observer != nil {
+			opts.Observer.ObserveIssue(fp.bunch, fp.pkg, issueTime)
+		}
+		dev.Submit(fp.p.Request(), func(finish simtime.Time) {
 			res.Completed++
+			if opts.Observer != nil {
+				opts.Observer.ObserveComplete(fp.bunch, fp.pkg, issueTime, finish)
+			}
 			completions = append(completions, completion{
 				finish:   finish,
 				issue:    issueTime,
-				bytes:    p.Size,
+				bytes:    fp.p.Size,
 				response: finish.Sub(issueTime),
 			})
 			issue()

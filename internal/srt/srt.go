@@ -74,6 +74,9 @@ func Parse(r io.Reader) ([]Record, error) {
 		if err != nil || length <= 0 {
 			return nil, fmt.Errorf("srt: line %d: bad length %q", lineNo, fields[3])
 		}
+		if start > math.MaxInt64-length {
+			return nil, fmt.Errorf("srt: line %d: start %d + length %d overflows", lineNo, start, length)
+		}
 		var op storage.Op
 		switch strings.ToUpper(fields[4]) {
 		case "R":

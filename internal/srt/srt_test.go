@@ -2,6 +2,8 @@ package srt
 
 import (
 	"bytes"
+	"fmt"
+	"math"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -217,5 +219,76 @@ func TestPropertyConvertPreservesVolume(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParseRejectsZeroLength: a zero-length request is a malformed
+// record, not a no-op IO.
+func TestParseRejectsZeroLength(t *testing.T) {
+	_, err := Parse(strings.NewReader("1.0 disk0 4096 0 R\n"))
+	if err == nil || !strings.Contains(err.Error(), "bad length") {
+		t.Fatalf("zero-length record: err = %v", err)
+	}
+	if _, err := Parse(strings.NewReader("1.0 disk0 4096 -512 W\n")); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+// TestParseRejectsSectorOverflow: start+length summing past MaxInt64
+// must be rejected at parse time, before sector arithmetic wraps.
+func TestParseRejectsSectorOverflow(t *testing.T) {
+	line := fmt.Sprintf("1.0 disk0 %d 4096 R\n", int64(math.MaxInt64-100))
+	_, err := Parse(strings.NewReader(line))
+	if err == nil || !strings.Contains(err.Error(), "overflows") {
+		t.Fatalf("overflowing extent: err = %v", err)
+	}
+	// Just under the limit is fine.
+	ok := fmt.Sprintf("1.0 disk0 %d 4096 R\n", int64(math.MaxInt64-4096))
+	if _, err := Parse(strings.NewReader(ok)); err != nil {
+		t.Fatalf("maximal extent rejected: %v", err)
+	}
+}
+
+// TestConvertRejectsZeroLengthRecord: hand-built records bypass Parse,
+// so Convert must still surface an invalid trace as an error — not a
+// panic and not a silently-broken replay file.
+func TestConvertRejectsZeroLengthRecord(t *testing.T) {
+	recs := []Record{{Timestamp: 1, Device: "d", StartByte: 0, Length: 0, Op: storage.Read}}
+	if _, err := Convert(recs, ConvertOptions{}); err == nil {
+		t.Fatal("Convert accepted a zero-length record")
+	}
+}
+
+// TestConvertOutOfOrderWithWindow: interleaved out-of-order timestamps
+// plus a bunch window must yield a valid, sorted, rebased trace whose
+// coincident records share one bunch.
+func TestConvertOutOfOrderWithWindow(t *testing.T) {
+	recs := []Record{
+		{Timestamp: 5.0, Device: "d", StartByte: 4096, Length: 4096, Op: storage.Write},
+		{Timestamp: 3.0, Device: "d", StartByte: 0, Length: 512, Op: storage.Read},
+		{Timestamp: 5.0004, Device: "d", StartByte: 8192, Length: 4096, Op: storage.Read},
+		{Timestamp: 4.0, Device: "d", StartByte: 512, Length: 512, Op: storage.Write},
+	}
+	tr, err := Convert(recs, ConvertOptions{BunchWindow: simtime.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("converted trace invalid: %v", err)
+	}
+	if got := len(tr.Bunches); got != 3 {
+		t.Fatalf("bunches = %d, want 3 (two coincident records coalesced)", got)
+	}
+	if tr.Bunches[0].Time != 0 {
+		t.Fatalf("trace not rebased: first bunch at %v", tr.Bunches[0].Time)
+	}
+	last := tr.Bunches[2]
+	if len(last.Packages) != 2 {
+		t.Fatalf("window did not coalesce: %d packages in last bunch", len(last.Packages))
+	}
+	for i := 1; i < len(tr.Bunches); i++ {
+		if tr.Bunches[i].Time <= tr.Bunches[i-1].Time {
+			t.Fatal("bunch times not strictly increasing")
+		}
 	}
 }
