@@ -4,11 +4,18 @@
 // tool the paper uses to populate its 125-trace repository, usable
 // without the rest of the framework.
 //
-// Usage:
+// It has two mutually exclusive generation sources:
 //
-//	tracegen -out trace.replay [-device hdd|ssd] [-size 4096]
-//	         [-read 0.5] [-random 0.5] [-duration 2s] [-qd 8]
-//	         [-text] [-seed 1]
+//	parametric:   tracegen -out trace.replay [-device hdd|ssd] [-size 4096]
+//	              [-read 0.5] [-random 0.5] [-duration 2s] [-qd 8]
+//	profile:      tracegen -from-profile profile.json {-out trace.replay | -repo DIR}
+//	              [-scale 1.0] [-bunches N] [-read-mix F]
+//
+// Common flags: [-text] [-seed 1].  A profile comes from `tracer
+// analyze`; synthesis is seed-deterministic, so the same profile and
+// seed always produce a byte-identical trace.  With -repo the derived
+// trace is stored in the repository under the derived-name scheme
+// instead of (or in addition to) -out.
 package main
 
 import (
@@ -16,11 +23,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/blktrace"
 	"repro/internal/experiments"
+	"repro/internal/repository"
 	"repro/internal/simtime"
 	"repro/internal/synth"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -30,9 +40,43 @@ func main() {
 	}
 }
 
+// parametricFlags and profileFlags partition the flag set by generation
+// source; setting a flag from the wrong partition is an error, caught in
+// checkFlagSources via fs.Visit.
+var (
+	parametricFlags = map[string]bool{
+		"device": true, "size": true, "read": true, "random": true,
+		"duration": true, "qd": true,
+	}
+	profileFlags = map[string]bool{
+		"scale": true, "bunches": true, "read-mix": true, "repo": true,
+	}
+)
+
+// checkFlagSources rejects flags that do not belong to the selected
+// generation source, naming the offenders and the fix.
+func checkFlagSources(fs *flag.FlagSet, fromProfile bool) error {
+	var wrong []string
+	fs.Visit(func(f *flag.Flag) {
+		if fromProfile && parametricFlags[f.Name] {
+			wrong = append(wrong, "-"+f.Name)
+		}
+		if !fromProfile && profileFlags[f.Name] {
+			wrong = append(wrong, "-"+f.Name)
+		}
+	})
+	if len(wrong) == 0 {
+		return nil
+	}
+	if fromProfile {
+		return fmt.Errorf("%s configure the parametric generator and conflict with -from-profile (the profile already fixes the workload shape)", wrong)
+	}
+	return fmt.Errorf("%s only apply when synthesizing from a profile; add -from-profile profile.json or drop them", wrong)
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
-	outPath := fs.String("out", "", "output trace file (required)")
+	outPath := fs.String("out", "", "output trace file")
 	device := fs.String("device", "hdd", "array kind: hdd or ssd")
 	size := fs.Int64("size", 4096, "request size in bytes")
 	read := fs.Float64("read", 0.5, "read ratio [0,1]")
@@ -41,8 +85,24 @@ func run(args []string, out io.Writer) error {
 	qd := fs.Int("qd", 8, "outstanding IOs (queue depth)")
 	text := fs.Bool("text", false, "write the text format instead of binary")
 	seed := fs.Uint64("seed", 1, "generator seed")
+	fromProfile := fs.String("from-profile", "", "synthesize from this workload profile JSON instead of the parametric generator")
+	scale := fs.Float64("scale", 1, "profile synthesis: arrival-rate multiplier")
+	bunches := fs.Int("bunches", 0, "profile synthesis: bunch count (0 = same as profile)")
+	readMix := fs.Float64("read-mix", -1, "profile synthesis: override read ratio [0,1] (-1 = keep profile's)")
+	repoDir := fs.String("repo", "", "profile synthesis: also store the trace in this repository under the derived-name scheme")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := checkFlagSources(fs, *fromProfile != ""); err != nil {
+		return err
+	}
+	if *fromProfile != "" {
+		return runFromProfile(*fromProfile, *outPath, *repoDir, *text, workload.SynthOptions{
+			Seed:      *seed,
+			Bunches:   *bunches,
+			LoadScale: *scale,
+			ReadRatio: *readMix,
+		}, out)
 	}
 	if *outPath == "" {
 		return fmt.Errorf("-out is required")
@@ -67,23 +127,66 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *text {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		if err := blktrace.WriteText(f, tr); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	} else if err := blktrace.WriteFile(*outPath, tr); err != nil {
+	if err := writeTrace(*outPath, tr, *text); err != nil {
 		return err
 	}
 	st := blktrace.ComputeStats(tr)
 	fmt.Fprintf(out, "wrote %s: %d IOs in %d bunches, peak %.0f IOPS / %.2f MBPS\n",
 		*outPath, st.IOs, st.Bunches, st.MeanIOPS, st.MeanMBPS)
 	return nil
+}
+
+// runFromProfile synthesizes a trace from an analyzed workload profile
+// and writes it to a file, a repository, or both.
+func runFromProfile(profilePath, outPath, repoDir string, text bool, opts workload.SynthOptions, out io.Writer) error {
+	if outPath == "" && repoDir == "" {
+		return fmt.Errorf("-from-profile needs a destination: -out FILE and/or -repo DIR")
+	}
+	profile, err := workload.ReadProfile(profilePath)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.Synthesize(profile, opts)
+	if err != nil {
+		return err
+	}
+	st := blktrace.ComputeStats(tr)
+	if outPath != "" {
+		if err := writeTrace(outPath, tr, text); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "synthesized %s from %s (seed %d): %d IOs in %d bunches, %.0f IOPS / %.2f MBPS offered\n",
+			outPath, profile.Name, opts.Seed, st.IOs, st.Bunches, st.MeanIOPS, st.MeanMBPS)
+	}
+	if repoDir != "" {
+		repo, err := repository.Open(repoDir)
+		if err != nil {
+			return err
+		}
+		// File under the source trace's device so the derived entry sits
+		// next to the traces it models.
+		entry, err := repo.StoreDerived(profile.Device, profile.Name, opts.Seed, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stored %s: %d IOs in %d bunches, %.0f IOPS / %.2f MBPS offered\n",
+			filepath.Base(entry.Path), st.IOs, st.Bunches, st.MeanIOPS, st.MeanMBPS)
+	}
+	return nil
+}
+
+// writeTrace writes a trace in the binary or text format.
+func writeTrace(path string, tr *blktrace.Trace, text bool) error {
+	if !text {
+		return blktrace.WriteFile(path, tr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := blktrace.WriteText(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/blktrace"
+	"repro/internal/repository"
+	"repro/internal/workload"
 )
 
 func TestGenerateBinaryTrace(t *testing.T) {
@@ -61,5 +64,159 @@ func TestGenerateErrors(t *testing.T) {
 	}
 	if err := run([]string{"-out", filepath.Join(t.TempDir(), "x"), "-size", "-4"}, &buf); err == nil {
 		t.Fatal("bad size accepted")
+	}
+}
+
+// writeTestProfile builds a small profile by analyzing a parametric
+// trace, giving the -from-profile tests a realistic input.
+func writeTestProfile(t *testing.T, dir string) string {
+	t.Helper()
+	tracePath := filepath.Join(dir, "src.replay")
+	var buf bytes.Buffer
+	if err := run([]string{"-out", tracePath, "-duration", "1s"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := blktrace.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Analyze(tr, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilePath := filepath.Join(dir, "src.json")
+	if err := workload.WriteProfile(profilePath, p); err != nil {
+		t.Fatal(err)
+	}
+	return profilePath
+}
+
+func TestGenerateFromProfile(t *testing.T) {
+	dir := t.TempDir()
+	profilePath := writeTestProfile(t, dir)
+	outPath := filepath.Join(dir, "derived.replay")
+	repoDir := filepath.Join(dir, "repo")
+
+	var buf bytes.Buffer
+	err := run([]string{"-from-profile", profilePath, "-out", outPath, "-repo", repoDir, "-seed", "7"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "synthesized") || !strings.Contains(buf.String(), "stored") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	tr, err := blktrace.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumBunches() == 0 {
+		t.Fatal("empty derived trace")
+	}
+	// The repository copy sits under the derived-name scheme and holds
+	// the same trace.
+	repo, err := repository.Open(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := repo.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].IsDerived() ||
+		entries[0].ProfileLabel != "src" || entries[0].Seed != 7 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	stored, err := repo.Load(entries[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, stored) {
+		t.Fatal("file and repository copies differ")
+	}
+
+	// Same profile, same seed: byte-identical output.
+	outPath2 := filepath.Join(dir, "derived2.replay")
+	if err := run([]string{"-from-profile", profilePath, "-out", outPath2, "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same profile+seed produced different bytes")
+	}
+
+	// -scale and -bunches reshape the synthesis.
+	outPath3 := filepath.Join(dir, "derived3.replay")
+	if err := run([]string{"-from-profile", profilePath, "-out", outPath3, "-bunches", "10"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	small, err := blktrace.ReadFile(outPath3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumBunches() != 10 {
+		t.Fatalf("bunches = %d, want 10", small.NumBunches())
+	}
+}
+
+// Each generation source must reject the other source's flags with a
+// clear error, one case per rejection.
+func TestFlagSourceRejections(t *testing.T) {
+	dir := t.TempDir()
+	profilePath := writeTestProfile(t, dir)
+	out := filepath.Join(dir, "o.replay")
+
+	parametricWithProfile := [][]string{
+		{"-from-profile", profilePath, "-out", out, "-device", "ssd"},
+		{"-from-profile", profilePath, "-out", out, "-size", "8192"},
+		{"-from-profile", profilePath, "-out", out, "-read", "1"},
+		{"-from-profile", profilePath, "-out", out, "-random", "0"},
+		{"-from-profile", profilePath, "-out", out, "-duration", "1s"},
+		{"-from-profile", profilePath, "-out", out, "-qd", "4"},
+	}
+	for _, args := range parametricWithProfile {
+		var buf bytes.Buffer
+		err := run(args, &buf)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want conflict error", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "conflict with -from-profile") {
+			t.Errorf("run(%v) error not labelled: %v", args, err)
+		}
+	}
+
+	profileWithoutProfile := [][]string{
+		{"-out", out, "-scale", "2"},
+		{"-out", out, "-bunches", "5"},
+		{"-out", out, "-read-mix", "0.5"},
+		{"-out", out, "-repo", dir},
+	}
+	for _, args := range profileWithoutProfile {
+		var buf bytes.Buffer
+		err := run(args, &buf)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want source error", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-from-profile") {
+			t.Errorf("run(%v) error not labelled: %v", args, err)
+		}
+	}
+
+	// A profile synthesis with no destination is an error too.
+	var buf bytes.Buffer
+	if err := run([]string{"-from-profile", profilePath}, &buf); err == nil {
+		t.Error("destination-less -from-profile accepted")
+	}
+	// Common flags stay usable with both sources.
+	if err := run([]string{"-from-profile", profilePath, "-out", out, "-seed", "3", "-text"}, &buf); err != nil {
+		t.Errorf("common flags rejected: %v", err)
 	}
 }

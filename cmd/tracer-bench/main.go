@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep]
+//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload]
 //	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/parsweep"
 	"repro/internal/simtime"
 	"repro/internal/synth"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -193,6 +195,43 @@ var table = []experiment{
 	}},
 	{"sweep", runSweep},
 	{"kernel", benchKernel},
+	{"workload", benchWorkload},
+}
+
+// benchWorkload exercises the characterization pipeline: wall-clock
+// analyze/synthesize throughput on a web-server-like trace, then the
+// full perturbation study in the paper's LP/A table form.  The
+// throughput lines are wall-clock measurements, so the experiment only
+// runs on explicit request (like kernel).
+func benchWorkload(cfg experiments.Config, w io.Writer) error {
+	wp := synth.DefaultWebServer()
+	wp.Seed = cfg.Seed
+	wp.Duration = 10 * cfg.CollectDuration
+	src := synth.WebServerTrace(wp)
+	st := blktrace.ComputeStats(src)
+
+	start := time.Now()
+	profile, err := workload.Analyze(src, "web")
+	if err != nil {
+		return err
+	}
+	analyzeS := time.Since(start).Seconds()
+	start = time.Now()
+	if _, err := workload.Synthesize(profile, workload.SynthOptions{Seed: cfg.Seed, ReadRatio: -1}); err != nil {
+		return err
+	}
+	synthS := time.Since(start).Seconds()
+	fmt.Fprintf(w, "analyze    %d IOs in %.4fs (%.0f IOs/s)\n",
+		st.IOs, analyzeS, float64(st.IOs)/math.Max(analyzeS, 1e-9))
+	fmt.Fprintf(w, "synthesize %d IOs in %.4fs (%.0f IOs/s)\n",
+		profile.IOs, synthS, float64(profile.IOs)/math.Max(synthS, 1e-9))
+
+	res, err := experiments.WorkloadStudy(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderWorkloadStudy(w, res)
+	return nil
 }
 
 // sweepTrace optionally replaces the synthetic mode grid with one
@@ -342,9 +381,10 @@ func run(args []string, out io.Writer) error {
 		if !all && !want[e.name] {
 			continue
 		}
-		// "sweep" is heavyweight and "kernel" is a wall-clock benchmark
-		// (nondeterministic output): only on explicit request.
-		if all && (e.name == "sweep" || e.name == "kernel") {
+		// "sweep" is heavyweight; "kernel" and "workload" print
+		// wall-clock measurements (nondeterministic output): only on
+		// explicit request.
+		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload") {
 			continue
 		}
 		start := time.Now()

@@ -10,6 +10,7 @@
 //	tracer gen-real  -repo DIR [-device hdd|ssd] -kind web|cello|oltp
 //	tracer repo      -repo DIR
 //	tracer stats     -repo DIR -trace NAME
+//	tracer analyze   -repo DIR -trace NAME | -in FILE [-out profile.json] [-name LABEL]
 //	tracer test      -repo DIR -trace NAME [-device hdd|ssd] [-loads 10,50,100] [-db FILE] [-workers N]
 //	tracer query     [-db FILE] [-device NAME] [-minload F] [-maxload F]
 //	tracer convert   -in FILE.srt -out FILE.replay [-srcdev NAME] [-window D]
@@ -17,7 +18,7 @@
 //	tracer merge     -repo DIR -traces A,B[,C...] [-label L]
 //	tracer remap     -repo DIR -trace NAME -from-bytes N -to-bytes N
 //	tracer dump      -repo DIR -trace NAME [-n 10]
-//	tracer verify    [-golden DIR] [-update] [-tol F]
+//	tracer verify    [-golden DIR] [-update] [-tol F] [-fidelity [-seed N]]
 package main
 
 import (
@@ -64,6 +65,8 @@ func run(args []string, out io.Writer) error {
 		return cmdRepo(args[1:], out)
 	case "stats":
 		return cmdStats(args[1:], out)
+	case "analyze":
+		return cmdAnalyze(args[1:], out)
 	case "test":
 		return cmdTest(args[1:], out)
 	case "query":
@@ -91,7 +94,7 @@ func run(args []string, out io.Writer) error {
 
 func usage(out io.Writer) {
 	fmt.Fprintln(out, `tracer — load-controllable energy-efficiency evaluation for storage systems
-subcommands: collect, gen-real, repo, stats, test, query, convert, slice, merge, remap, dump, verify`)
+subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, verify`)
 }
 
 // cmdCollect builds peak synthetic traces into a repository.
@@ -228,9 +231,12 @@ func cmdRepo(args []string, out io.Writer) error {
 		return nil
 	}
 	for _, e := range entries {
-		if e.IsReal() {
+		switch {
+		case e.IsReal():
 			fmt.Fprintf(out, "%s\treal\t%s\n", filepath.Base(e.Path), e.RealLabel)
-		} else {
+		case e.IsDerived():
+			fmt.Fprintf(out, "%s\tderived\tprofile %s seed %d\n", filepath.Base(e.Path), e.ProfileLabel, e.Seed)
+		default:
 			fmt.Fprintf(out, "%s\tsynthetic\t%s\n", filepath.Base(e.Path), e.Mode)
 		}
 	}

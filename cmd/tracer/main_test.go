@@ -10,6 +10,7 @@ import (
 	"repro/internal/repository"
 	"repro/internal/srt"
 	"repro/internal/storage"
+	"repro/internal/workload"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -230,5 +231,63 @@ func TestVerifyCommandTruncatedFixture(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "cut.trace.txt") || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("error not labelled: %v", err)
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	dir := t.TempDir()
+	repoDir := filepath.Join(dir, "traces")
+	runOK(t, "gen-real", "-repo", repoDir, "-kind", "web")
+	name := repository.RealName("raid5-hdd", "web-o4")
+
+	// Repository entry to a profile file.
+	profilePath := filepath.Join(dir, "web.json")
+	out := runOK(t, "analyze", "-repo", repoDir, "-trace", name, "-out", profilePath)
+	if !strings.Contains(out, "analyzed") || !strings.Contains(out, profilePath) {
+		t.Fatalf("analyze output: %s", out)
+	}
+	p, err := workload.ReadProfile(profilePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default label comes from the file name.
+	if p.Name != strings.TrimSuffix(name, repository.Ext) || p.IOs == 0 {
+		t.Fatalf("profile = %+v", p)
+	}
+
+	// Direct file input with an explicit label, JSON to stdout.
+	tracePath := filepath.Join(repoDir, name)
+	out = runOK(t, "analyze", "-in", tracePath, "-name", "weblabel")
+	p2, err := workload.Decode(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("stdout not a profile: %v\n%s", err, out)
+	}
+	if p2.Name != "weblabel" || p2.IOs != p.IOs {
+		t.Fatalf("stdout profile = %+v", p2)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"analyze"},                            // neither -trace nor -in
+		{"analyze", "-trace", "a", "-in", "b"}, // both sources
+		{"analyze", "-in", filepath.Join(t.TempDir(), "missing.replay")},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestVerifyFidelityCommand(t *testing.T) {
+	out := runOK(t, "verify", "-golden", goldenCorpusDir, "-fidelity")
+	if !strings.Contains(out, "workload round-trip fidelity verified") || strings.Count(out, "PASS") != 3 {
+		t.Fatalf("fidelity output: %s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"verify", "-fidelity", "-update"}, &buf); err == nil {
+		t.Fatal("-fidelity -update accepted")
 	}
 }

@@ -12,14 +12,31 @@ import (
 // is replayed on both simulated arrays with the physics-invariant suite
 // armed, and the results are diffed against the committed golden JSON
 // with tolerance-aware comparison.  -update regenerates the JSON after
-// an intentional model change.
+// an intentional model change.  -fidelity instead round-trips every
+// fixture through the workload characterizer (analyze → synthesize →
+// replay both) and requires the efficiency metrics to agree.
 func cmdVerify(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	dir := fs.String("golden", "internal/check/testdata/golden", "golden fixture directory")
 	update := fs.Bool("update", false, "regenerate the golden outputs instead of diffing")
-	tol := fs.Float64("tol", check.DefaultTol, "relative tolerance for float comparison")
+	tol := fs.Float64("tol", 0, "relative tolerance for comparison (0 = mode default)")
+	fidelity := fs.Bool("fidelity", false, "run the workload round-trip fidelity check instead of the golden diff")
+	seed := fs.Uint64("seed", 1, "fidelity synthesis seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fidelity {
+		if *update {
+			return fmt.Errorf("verify: -fidelity has no goldens to -update")
+		}
+		if err := check.VerifyFidelity(*dir, *seed, *tol, out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "workload round-trip fidelity verified")
+		return nil
+	}
+	if *tol == 0 {
+		*tol = check.DefaultTol
 	}
 	if err := check.VerifyGolden(*dir, *update, *tol, out); err != nil {
 		return err

@@ -147,13 +147,107 @@ type Stats struct {
 	MeanIOPS, MeanMBPS float64
 	// MaxBunchSize is the largest concurrency level in one bunch.
 	MaxBunchSize int
+	// Seeks counts IOs that did not continue the previous request's
+	// byte range (the numerator of RandomRatio; the first IO counts).
+	Seeks int
+	// MeanSeekSectors and MaxSeekSectors summarise the absolute
+	// distance (in sectors) jumped at each seek after the first IO.
+	MeanSeekSectors float64
+	MaxSeekSectors  int64
+	// SeqRuns counts maximal sequential runs; MeanRunIOs and MaxRunIOs
+	// summarise their lengths in IOs.
+	SeqRuns    int
+	MeanRunIOs float64
+	MaxRunIOs  int
+}
+
+// SeekCounter accumulates the spatial-locality accounting shared by
+// ComputeStats and the workload profiler: which IOs continue the
+// previous request's byte range, how far each seek jumps, and how long
+// sequential runs last.  The zero value is ready to use; feed every
+// IOPackage in trace order through Observe and call Finish once at the
+// end to flush the final run.
+type SeekCounter struct {
+	// OnSeek, when non-nil, receives the absolute seek distance in
+	// sectors for every seek after the first IO (the first IO has no
+	// predecessor, so no distance).
+	OnSeek func(absSectors int64)
+	// OnRunEnd, when non-nil, receives the length in IOs of every
+	// completed maximal sequential run.
+	OnRunEnd func(ios int)
+
+	// IOs, Seeks and SeqIOs partition the observed stream: every IO is
+	// either a seek (including the first) or a sequential continuation.
+	IOs, Seeks, SeqIOs int
+	// SumSeekSectors and MaxSeekSectors aggregate absolute seek
+	// distances (float sum: distances on large devices can overflow an
+	// int64 accumulator over long traces).
+	SumSeekSectors float64
+	MaxSeekSectors int64
+	// Runs and MaxRunIOs aggregate completed sequential runs; they are
+	// only final after Finish.
+	Runs      int
+	MaxRunIOs int
+
+	started bool
+	prevEnd int64 // byte address one past the previous request
+	runIOs  int
+}
+
+// Observe feeds one IO in trace order.
+func (c *SeekCounter) Observe(p IOPackage) {
+	off := p.Sector * storage.SectorSize
+	if c.started && off == c.prevEnd {
+		c.SeqIOs++
+		c.runIOs++
+	} else {
+		if c.started {
+			dist := (off - c.prevEnd) / storage.SectorSize
+			if dist < 0 {
+				dist = -dist
+			}
+			c.SumSeekSectors += float64(dist)
+			if dist > c.MaxSeekSectors {
+				c.MaxSeekSectors = dist
+			}
+			if c.OnSeek != nil {
+				c.OnSeek(dist)
+			}
+			c.endRun()
+		}
+		c.Seeks++
+		c.runIOs = 1
+		c.started = true
+	}
+	c.IOs++
+	c.prevEnd = off + p.Size
+}
+
+// Finish flushes the trailing sequential run.  Observe must not be
+// called afterwards.
+func (c *SeekCounter) Finish() {
+	if c.started {
+		c.endRun()
+		c.started = false
+	}
+}
+
+func (c *SeekCounter) endRun() {
+	c.Runs++
+	if c.runIOs > c.MaxRunIOs {
+		c.MaxRunIOs = c.runIOs
+	}
+	if c.OnRunEnd != nil {
+		c.OnRunEnd(c.runIOs)
+	}
+	c.runIOs = 0
 }
 
 // ComputeStats derives workload statistics from the trace.
 func ComputeStats(t *Trace) Stats {
 	s := Stats{Bunches: len(t.Bunches), Duration: t.Duration()}
-	var reads, random int
-	var prevEnd int64 = -1
+	var reads int
+	var sc SeekCounter
 	for i := range t.Bunches {
 		b := &t.Bunches[i]
 		if len(b.Packages) > s.MaxBunchSize {
@@ -165,16 +259,24 @@ func ComputeStats(t *Trace) Stats {
 			if p.Op == storage.Read {
 				reads++
 			}
-			if p.Sector*storage.SectorSize != prevEnd {
-				random++
-			}
-			prevEnd = p.Sector*storage.SectorSize + p.Size
+			sc.Observe(p)
 		}
+	}
+	sc.Finish()
+	s.Seeks = sc.Seeks
+	s.MaxSeekSectors = sc.MaxSeekSectors
+	s.SeqRuns = sc.Runs
+	s.MaxRunIOs = sc.MaxRunIOs
+	if seeks := sc.Seeks - 1; seeks > 0 {
+		s.MeanSeekSectors = sc.SumSeekSectors / float64(seeks)
+	}
+	if sc.Runs > 0 {
+		s.MeanRunIOs = float64(sc.IOs) / float64(sc.Runs)
 	}
 	if s.IOs > 0 {
 		s.AvgRequestBytes = float64(s.TotalBytes) / float64(s.IOs)
 		s.ReadRatio = float64(reads) / float64(s.IOs)
-		s.RandomRatio = float64(random) / float64(s.IOs)
+		s.RandomRatio = float64(sc.Seeks) / float64(s.IOs)
 	}
 	if secs := s.Duration.Seconds(); secs > 0 {
 		s.MeanIOPS = float64(s.IOs) / secs

@@ -168,6 +168,63 @@ func TestComputeStats(t *testing.T) {
 	if s.MaxBunchSize != 2 {
 		t.Fatalf("MaxBunchSize = %v", s.MaxBunchSize)
 	}
+	// Seek/run accounting: two runs of two IOs each, one measurable
+	// seek of |1000*512 - 8192| / 512 = 984 sectors.
+	if s.Seeks != 2 || s.SeqRuns != 2 || s.MaxRunIOs != 2 || s.MeanRunIOs != 2 {
+		t.Fatalf("seek/run counters: %+v", s)
+	}
+	if s.MeanSeekSectors != 984 || s.MaxSeekSectors != 984 {
+		t.Fatalf("seek distances: mean %v max %v, want 984", s.MeanSeekSectors, s.MaxSeekSectors)
+	}
+}
+
+func TestSeekCounterCallbacks(t *testing.T) {
+	var seeks []int64
+	var runs []int
+	c := SeekCounter{
+		OnSeek:   func(d int64) { seeks = append(seeks, d) },
+		OnRunEnd: func(n int) { runs = append(runs, n) },
+	}
+	// Run of 3 sequential IOs, a backward seek, a single-IO run, a
+	// forward seek, then a final run of 2.
+	pkgs := []IOPackage{
+		{Sector: 100, Size: 512},
+		{Sector: 101, Size: 1024},
+		{Sector: 103, Size: 512},
+		{Sector: 4, Size: 512},   // backward seek: |4-104| = 100 sectors
+		{Sector: 500, Size: 512}, // forward seek: |500-5| = 495 sectors
+		{Sector: 501, Size: 512},
+	}
+	for _, p := range pkgs {
+		c.Observe(p)
+	}
+	c.Finish()
+	if !reflect.DeepEqual(seeks, []int64{100, 495}) {
+		t.Fatalf("seek distances = %v", seeks)
+	}
+	if !reflect.DeepEqual(runs, []int{3, 1, 2}) {
+		t.Fatalf("run lengths = %v", runs)
+	}
+	if c.IOs != 6 || c.Seeks != 3 || c.SeqIOs != 3 || c.Runs != 3 || c.MaxRunIOs != 3 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if c.SumSeekSectors != 595 || c.MaxSeekSectors != 495 {
+		t.Fatalf("distances: sum %v max %v", c.SumSeekSectors, c.MaxSeekSectors)
+	}
+}
+
+func TestSeekCounterEmptyAndSingle(t *testing.T) {
+	var c SeekCounter
+	c.Finish() // no IOs: must not report a run
+	if c.Runs != 0 || c.IOs != 0 {
+		t.Fatalf("empty counter: %+v", c)
+	}
+	c = SeekCounter{}
+	c.Observe(IOPackage{Sector: 7, Size: 512})
+	c.Finish()
+	if c.Runs != 1 || c.Seeks != 1 || c.MaxRunIOs != 1 || c.SumSeekSectors != 0 {
+		t.Fatalf("single-IO counter: %+v", c)
+	}
 }
 
 func TestBuilderCoalescesEqualTimes(t *testing.T) {
@@ -439,8 +496,8 @@ func TestReadFileRejectsLyingCounts(t *testing.T) {
 	}
 	blob := buf.Bytes()
 	devlen := len(tr.Device)
-	nbOff := 8 + 4 + devlen  // magic + version/devlen + name
-	npOff := nbOff + 4 + 8   // + bunch count + first bunch time
+	nbOff := 8 + 4 + devlen // magic + version/devlen + name
+	npOff := nbOff + 4 + 8  // + bunch count + first bunch time
 
 	dir := t.TempDir()
 	for name, doctored := range map[string][]byte{

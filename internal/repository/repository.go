@@ -8,6 +8,7 @@
 //
 //	<device>__rs<bytes>_rd<readPct>_rn<randPct>.replay   collected synthetic traces
 //	<device>__real_<label>.replay                        real-world traces
+//	<device>__derived-<profile>-<seed>.replay            profile-derived synthetic traces
 package repository
 
 import (
@@ -40,10 +41,17 @@ type Entry struct {
 	// RealLabel names a real-world trace ("web-o4", "cello99"); empty
 	// for synthetic entries.
 	RealLabel string
+	// ProfileLabel names the workload profile a derived trace was
+	// synthesized from; empty otherwise.  Seed is the synthesis seed.
+	ProfileLabel string
+	Seed         uint64
 }
 
 // IsReal reports whether the entry is a real-world trace.
 func (e Entry) IsReal() bool { return e.RealLabel != "" }
+
+// IsDerived reports whether the entry was synthesized from a profile.
+func (e Entry) IsDerived() bool { return e.ProfileLabel != "" }
 
 // Repository is a directory of trace files.
 type Repository struct {
@@ -74,6 +82,12 @@ func RealName(device, label string) string {
 	return fmt.Sprintf("%s__real_%s%s", sanitize(device), sanitize(label), Ext)
 }
 
+// DerivedName renders the file name for a trace synthesized from a
+// workload profile under the given seed.
+func DerivedName(device, profile string, seed uint64) string {
+	return fmt.Sprintf("%s__derived-%s-%d%s", sanitize(device), sanitize(profile), seed, Ext)
+}
+
 func sanitize(s string) string {
 	return strings.Map(func(r rune) rune {
 		switch {
@@ -86,8 +100,9 @@ func sanitize(s string) string {
 }
 
 var (
-	synthRe = regexp.MustCompile(`^(.+)__rs(\d+)_rd(\d+)_rn(\d+)\.replay$`)
-	realRe  = regexp.MustCompile(`^(.+)__real_(.+)\.replay$`)
+	synthRe   = regexp.MustCompile(`^(.+)__rs(\d+)_rd(\d+)_rn(\d+)\.replay$`)
+	realRe    = regexp.MustCompile(`^(.+)__real_(.+)\.replay$`)
+	derivedRe = regexp.MustCompile(`^(.+)__derived-(.+)-(\d+)\.replay$`)
 )
 
 // ParseName decodes a repository file name into an Entry (without Path).
@@ -104,6 +119,13 @@ func ParseName(name string) (Entry, error) {
 			Mode:   synth.Mode{RequestBytes: rs, ReadRatio: float64(rd) / 100, RandomRatio: float64(rn) / 100},
 		}, nil
 	}
+	if m := derivedRe.FindStringSubmatch(name); m != nil {
+		seed, err := strconv.ParseUint(m[3], 10, 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("repository: bad seed in %q", name)
+		}
+		return Entry{Device: m[1], ProfileLabel: m[2], Seed: seed}, nil
+	}
 	if m := realRe.FindStringSubmatch(name); m != nil {
 		return Entry{Device: m[1], RealLabel: m[2]}, nil
 	}
@@ -119,6 +141,12 @@ func (r *Repository) StoreSynthetic(device string, m synth.Mode, t *blktrace.Tra
 // StoreReal writes a real-world trace under the naming convention.
 func (r *Repository) StoreReal(device, label string, t *blktrace.Trace) (Entry, error) {
 	return r.store(RealName(device, label), t)
+}
+
+// StoreDerived writes a profile-derived synthetic trace under the
+// naming convention.
+func (r *Repository) StoreDerived(device, profile string, seed uint64, t *blktrace.Trace) (Entry, error) {
+	return r.store(DerivedName(device, profile, seed), t)
 }
 
 func (r *Repository) store(name string, t *blktrace.Trace) (Entry, error) {

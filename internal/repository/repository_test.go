@@ -57,6 +57,68 @@ func TestParseName(t *testing.T) {
 	}
 }
 
+func TestDerivedNameRoundTrip(t *testing.T) {
+	cases := []struct {
+		device, profile string
+		seed            uint64
+	}{
+		{"raid5-hdd", "web", 1},
+		{"raid5-ssd", "web-o4", 42},   // hyphenated profile label
+		{"raid5-hdd", "cello99", 0},   // label ending in digits, zero seed
+		{"raid5-hdd", "p-2", 7},       // label ending in -<digits>
+		{"dev 0", "my profile", 9000}, // sanitised spaces
+	}
+	for _, c := range cases {
+		name := DerivedName(c.device, c.profile, c.seed)
+		e, err := ParseName(name)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", name, err)
+		}
+		if !e.IsDerived() || e.IsReal() {
+			t.Fatalf("%q parsed as %+v", name, e)
+		}
+		wantProfile := sanitize(c.profile)
+		if e.Device != sanitize(c.device) || e.ProfileLabel != wantProfile || e.Seed != c.seed {
+			t.Fatalf("%q round-tripped to %+v", name, e)
+		}
+		// Parse → render closes the loop.
+		if again := DerivedName(e.Device, e.ProfileLabel, e.Seed); again != name {
+			t.Fatalf("render(parse(%q)) = %q", name, again)
+		}
+	}
+	if got := DerivedName("raid5-hdd", "web", 3); got != "raid5-hdd__derived-web-3.replay" {
+		t.Fatalf("DerivedName = %q", got)
+	}
+}
+
+func TestStoreDerived(t *testing.T) {
+	repo, err := Open(filepath.Join(t.TempDir(), "repo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := repo.StoreDerived("raid5-hdd", "web", 5, tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsDerived() || e.ProfileLabel != "web" || e.Seed != 5 {
+		t.Fatalf("entry = %+v", e)
+	}
+	got, err := repo.Load(DerivedName("raid5-hdd", "web", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tinyTrace()) {
+		t.Fatal("derived trace changed across store/load")
+	}
+	entries, err := repo.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].IsDerived() {
+		t.Fatalf("List = %+v", entries)
+	}
+}
+
 func TestNameRoundTrip(t *testing.T) {
 	for _, m := range synth.PaperModes() {
 		name := SyntheticName("raid5", m)
