@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload]
-//	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay]
+//	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay] [-telemetry-dir DIR]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
 // out across -workers goroutines; results are deterministic at any
@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/parsweep"
 	"repro/internal/simtime"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -293,9 +295,14 @@ func runSweep(cfg experiments.Config, w io.Writer) error {
 	return nil
 }
 
+// telemetryDir optionally exports per-load telemetry artifact
+// directories from the trace sweep (-telemetry-dir flag).
+var telemetryDir string
+
 // runTraceSweep measures one on-disk .replay trace at the sweep's load
 // levels.  A truncated or corrupt file surfaces as a labelled error
-// (non-zero exit), never a panic.
+// (non-zero exit), never a panic.  With -telemetry-dir every load level
+// replays fully instrumented and lands in its own load<pct>/ subdir.
 func runTraceSweep(cfg experiments.Config, path string, w io.Writer) error {
 	tr, err := blktrace.ReadFile(path)
 	if err != nil {
@@ -304,18 +311,44 @@ func runTraceSweep(cfg experiments.Config, path string, w io.Writer) error {
 	loads := []float64{0.25, 0.5, 0.75, 1.0}
 	opts := parsweep.Options{Workers: cfg.Workers}
 	opts.Label = func(i int) string { return fmt.Sprintf("%s load %v", filepath.Base(path), loads[i]) }
+	// Each cell owns its telemetry Set, so the fan-out stays race-free;
+	// directories are written sequentially after the barrier.
+	type sweepCell struct {
+		m   *experiments.Measurement
+		set *telemetry.Set
+	}
 	cells, err := parsweep.Map(context.Background(), opts, len(loads),
-		func(i int) (*experiments.Measurement, error) {
-			return experiments.MeasureAtLoad(cfg, experiments.HDDArray, tr, loads[i])
+		func(i int) (sweepCell, error) {
+			if telemetryDir == "" {
+				m, err := experiments.MeasureAtLoad(cfg, experiments.HDDArray, tr, loads[i])
+				return sweepCell{m: m}, err
+			}
+			set := telemetry.New(telemetry.Options{})
+			run, err := experiments.MeasureAtLoadTelemetry(cfg, experiments.HDDArray, tr, loads[i], set)
+			if err != nil {
+				return sweepCell{}, err
+			}
+			return sweepCell{m: run.Meas, set: set}, nil
 		})
 	if err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	fmt.Fprintln(w, "trace\tload%\tIOPS\tMBPS\twatts\tIOPS/W\tMBPS/kW")
-	for _, m := range cells {
+	for _, c := range cells {
+		m := c.m
 		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%.3f\t%.1f\t%.3f\t%.2f\n",
 			filepath.Base(path), m.Load*100, m.Result.IOPS, m.Result.MBPS, m.Power,
 			m.Eff.IOPSPerWatt, m.Eff.MBPSPerKW)
+	}
+	for i, c := range cells {
+		if c.set == nil {
+			continue
+		}
+		dir := filepath.Join(telemetryDir, fmt.Sprintf("load%03.0f", loads[i]*100))
+		if err := c.set.WriteDir(dir); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		fmt.Fprintf(w, "telemetry: %s\n", dir)
 	}
 	return nil
 }
@@ -331,11 +364,13 @@ func run(args []string, out io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	benchout := fs.String("benchout", benchOut, "kernel experiment: JSON report path")
 	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
+	telDir := fs.String("telemetry-dir", "", "sweep experiment: export per-load telemetry artifacts under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	benchOut = *benchout
 	sweepTrace = *traceFile
+	telemetryDir = *telDir
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -377,6 +412,8 @@ func run(args []string, out io.Writer) error {
 		want[strings.TrimSpace(n)] = true
 	}
 	ran := 0
+	var failures []error
+	var failedNames []string
 	for _, e := range table {
 		if !all && !want[e.name] {
 			continue
@@ -402,11 +439,18 @@ func run(args []string, out io.Writer) error {
 			sink = io.MultiWriter(out, file)
 		}
 		fmt.Fprintf(out, "=== %s ===\n", e.name)
+		ran++
+		// A failing experiment no longer aborts the table: the rest
+		// still regenerate, and the joined summary error below keeps
+		// the exit non-zero (wrapping each cause for errors.Is).
 		if err := e.fn(cfg, sink); err != nil {
 			if file != nil {
 				file.Close()
 			}
-			return fmt.Errorf("%s: %w", e.name, err)
+			fmt.Fprintf(out, "FAIL %s: %v\n\n", e.name, err)
+			failures = append(failures, fmt.Errorf("%s: %w", e.name, err))
+			failedNames = append(failedNames, e.name)
+			continue
 		}
 		if file != nil {
 			if err := file.Close(); err != nil {
@@ -414,10 +458,13 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.name, time.Since(start).Seconds())
-		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiment matched %q (use -list)", *names)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d experiments failed (%s): %w",
+			len(failures), ran, strings.Join(failedNames, ", "), errors.Join(failures...))
 	}
 	return nil
 }

@@ -122,3 +122,61 @@ func TestSweepTraceFlagTruncated(t *testing.T) {
 		t.Fatalf("error not labelled: %v", err)
 	}
 }
+
+// TestFailingExperimentDoesNotAbortTable pins the partial-failure
+// contract: an experiment that errors still lets the rest of the table
+// run, and the summary error names it while keeping the exit non-zero.
+func TestFailingExperimentDoesNotAbortTable(t *testing.T) {
+	var buf bytes.Buffer
+	// sweep fails (missing trace file); fig8 after it in the requested
+	// set must still regenerate.
+	err := run([]string{"-run", "sweep,fig8", "-duration", "1s", "-trace", "/nonexistent/nope.replay"}, &buf)
+	if err == nil {
+		t.Fatal("failing experiment did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "1 of 2 experiments failed (sweep)") {
+		t.Fatalf("summary error = %v", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("summary error does not wrap the cause: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAIL sweep:") || !strings.Contains(out, "=== fig8 ===") {
+		t.Fatalf("output: %s", out)
+	}
+	if !strings.Contains(out, "(fig8 in ") {
+		t.Fatalf("fig8 did not complete after the sweep failure: %s", out)
+	}
+}
+
+// TestSweepTelemetryDirExportsPerLoad drives -telemetry-dir: every
+// load level of the trace sweep leaves its own artifact directory.
+func TestSweepTelemetryDirExportsPerLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.replay")
+	b := blktrace.NewBuilder("tiny")
+	for i := 0; i < 20; i++ {
+		if err := b.Record(simtime.Duration(i)*50*simtime.Millisecond, blktrace.IOPackage{
+			Sector: int64(i) * 128, Size: 16 << 10, Op: storage.Read}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := blktrace.WriteFile(path, b.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	telDir := filepath.Join(dir, "telemetry")
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "sweep", "-trace", path, "-telemetry-dir", telDir, "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"load025", "load050", "load075", "load100"} {
+		for _, f := range []string{"summary.json", "series.csv", "trace.json", "power_wall.csv"} {
+			if _, err := os.Stat(filepath.Join(telDir, sub, f)); err != nil {
+				t.Fatalf("artifact %s/%s missing: %v", sub, f, err)
+			}
+		}
+	}
+	if strings.Count(buf.String(), "telemetry: ") != 4 {
+		t.Fatalf("telemetry lines: %s", buf.String())
+	}
+}

@@ -18,7 +18,9 @@
 //	tracer merge     -repo DIR -traces A,B[,C...] [-label L]
 //	tracer remap     -repo DIR -trace NAME -from-bytes N -to-bytes N
 //	tracer dump      -repo DIR -trace NAME [-n 10]
-//	tracer verify    [-golden DIR] [-update] [-tol F] [-fidelity [-seed N]]
+//	tracer replay    -repo DIR -trace NAME | -in FILE [-device hdd|ssd] [-load PCT] [-telemetry-dir DIR] [-cadence D]
+//	tracer report    [-dir DIR]
+//	tracer verify    [-golden DIR] [-update] [-tol F] [-telemetry-dir DIR] [-fidelity [-seed N]]
 package main
 
 import (
@@ -81,6 +83,10 @@ func run(args []string, out io.Writer) error {
 		return cmdRemap(args[1:], out)
 	case "dump":
 		return cmdDump(args[1:], out)
+	case "replay":
+		return cmdReplay(args[1:], out)
+	case "report":
+		return cmdReport(args[1:], out)
 	case "verify":
 		return cmdVerify(args[1:], out)
 	case "help", "-h", "--help":
@@ -94,7 +100,7 @@ func run(args []string, out io.Writer) error {
 
 func usage(out io.Writer) {
 	fmt.Fprintln(out, `tracer — load-controllable energy-efficiency evaluation for storage systems
-subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, verify`)
+subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, report, verify`)
 }
 
 // cmdCollect builds peak synthetic traces into a repository.

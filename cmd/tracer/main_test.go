@@ -234,6 +234,50 @@ func TestVerifyCommandTruncatedFixture(t *testing.T) {
 	}
 }
 
+// TestReplayAndReportCommands drives the telemetry walkthrough the
+// README documents: instrumented replay into an artifact directory,
+// then `tracer report` over it.
+func TestReplayAndReportCommands(t *testing.T) {
+	dir := t.TempDir()
+	repoDir := filepath.Join(dir, "traces")
+	runOK(t, "gen-real", "-repo", repoDir, "-kind", "web")
+	name := repository.RealName("raid5-hdd", "web-o4")
+	telDir := filepath.Join(dir, "telemetry")
+
+	out := runOK(t, "replay", "-repo", repoDir, "-trace", name, "-load", "50", "-telemetry-dir", telDir)
+	if !strings.Contains(out, "replayed") || !strings.Contains(out, "tracer report") {
+		t.Fatalf("replay output: %s", out)
+	}
+	for _, f := range []string{"summary.json", "series.csv", "events.jsonl", "trace.json", "power_wall.csv"} {
+		if _, err := os.Stat(filepath.Join(telDir, f)); err != nil {
+			t.Fatalf("artifact %s missing: %v", f, err)
+		}
+	}
+
+	out = runOK(t, "report", "-dir", telDir)
+	for _, want := range []string{"replay.issued", "HISTOGRAM", "POWER", "wall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayAndReportErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"replay"},                            // neither -trace nor -in
+		{"replay", "-trace", "a", "-in", "b"}, // both sources
+		{"replay", "-in", "x.replay", "-load", "0"},
+		{"replay", "-in", "x.replay", "-device", "tape"},
+		{"report", "-dir", filepath.Join(t.TempDir(), "missing")},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
 func TestAnalyzeCommand(t *testing.T) {
 	dir := t.TempDir()
 	repoDir := filepath.Join(dir, "traces")

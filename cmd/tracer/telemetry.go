@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/blktrace"
+	"repro/internal/experiments"
+	"repro/internal/repository"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// cmdReplay runs one fully instrumented replay: the trace is filtered
+// to the requested load, replayed on a fresh array with every telemetry
+// producer wired (replay probe, per-disk spans, power channel, kernel
+// gauges), and the artifact directory is exported — summary.json,
+// series.csv, events.jsonl, power_wall.csv and a Chrome trace that
+// opens in Perfetto.  `tracer report -dir DIR` renders the result.
+func cmdReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	dir := fs.String("repo", "traces", "trace repository directory")
+	name := fs.String("trace", "", "trace file name within the repository")
+	in := fs.String("in", "", "replay a trace file directly instead of a repository entry")
+	device := fs.String("device", "hdd", "array kind: hdd or ssd")
+	load := fs.Float64("load", 100, "load percentage")
+	telemetryDir := fs.String("telemetry-dir", "telemetry", "artifact output directory")
+	cadence := fs.Duration("cadence", 1_000_000_000, "time-series sampling cadence (sim time)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*name == "") == (*in == "") {
+		return fmt.Errorf("replay: exactly one of -trace or -in is required")
+	}
+	if *load <= 0 || *load > 1000 {
+		return fmt.Errorf("replay: bad load percentage %v", *load)
+	}
+	kind, err := experiments.KindFromString(*device)
+	if err != nil {
+		return err
+	}
+	var tr *blktrace.Trace
+	if *in != "" {
+		tr, err = blktrace.ReadFile(*in)
+	} else {
+		var repo *repository.Repository
+		if repo, err = repository.Open(*dir); err == nil {
+			tr, err = repo.Load(*name)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	set := telemetry.New(telemetry.Options{Cadence: simtime.FromStd(*cadence)})
+	run, err := experiments.MeasureAtLoadTelemetry(experiments.DefaultConfig(), kind, tr, *load/100, set)
+	if err != nil {
+		return err
+	}
+	if err := set.WriteDir(*telemetryDir); err != nil {
+		return err
+	}
+	r := run.Meas.Result
+	fmt.Fprintf(out, "replayed %d IOs at load %.0f%% on %s: %.1f IOPS, %.3f MBPS, %.1f W\n",
+		r.Completed, *load, kind, r.IOPS, r.MBPS, run.Meas.Power)
+	fmt.Fprintf(out, "telemetry written to %s (render with: tracer report -dir %s)\n",
+		*telemetryDir, *telemetryDir)
+	return nil
+}
+
+// cmdReport renders a telemetry artifact directory as text tables:
+// metric totals with per-window mean/max, histogram quantiles, and
+// per-channel power digests.
+func cmdReport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	dir := fs.String("dir", "telemetry", "telemetry artifact directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return telemetry.RenderReport(out, *dir)
+}

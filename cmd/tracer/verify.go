@@ -22,6 +22,7 @@ func cmdVerify(args []string, out io.Writer) error {
 	tol := fs.Float64("tol", 0, "relative tolerance for comparison (0 = mode default)")
 	fidelity := fs.Bool("fidelity", false, "run the workload round-trip fidelity check instead of the golden diff")
 	seed := fs.Uint64("seed", 1, "fidelity synthesis seed")
+	telemetryDir := fs.String("telemetry-dir", "", "export telemetry for the first failing fixture into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,10 +36,11 @@ func cmdVerify(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "workload round-trip fidelity verified")
 		return nil
 	}
-	if *tol == 0 {
-		*tol = check.DefaultTol
-	}
-	if err := check.VerifyGolden(*dir, *update, *tol, out); err != nil {
+	opts := check.VerifyOptions{Update: *update, Tol: *tol, TelemetryDir: *telemetryDir}
+	// A partial failure no longer aborts the corpus: every fixture gets
+	// its PASS/FAIL line and the summary error below is the one-line
+	// verdict (non-zero exit via main).
+	if err := check.VerifyGolden(*dir, opts, out); err != nil {
 		return err
 	}
 	if !*update {

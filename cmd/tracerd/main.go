@@ -7,20 +7,33 @@
 //
 //	tracerd -role analyzer  -listen 127.0.0.1:7071
 //	tracerd -role generator -listen 127.0.0.1:7070 -repo traces \
-//	        [-device hdd|ssd] [-analyzer 127.0.0.1:7071] [-channel ch0]
+//	        [-device hdd|ssd] [-analyzer 127.0.0.1:7071] [-channel ch0] \
+//	        [-telemetry-dir DIR] [-debug-addr 127.0.0.1:6060]
 //	tracerd -role host -generator 127.0.0.1:7070 -analyzer 127.0.0.1:7071 \
 //	        -trace NAME -loads 10,50,100 [-db results.json]
+//
+// A generator with -telemetry-dir instruments every test it serves and,
+// on SIGINT/SIGTERM, flushes the full artifact set (summary.json,
+// series.csv, events.jsonl, trace.json) before exiting.  -debug-addr
+// serves net/http/pprof plus an expvar snapshot of the live telemetry
+// registry at /debug/vars while tests run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/cluster"
@@ -28,6 +41,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/netproto"
 	"repro/internal/repository"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +63,8 @@ func run(args []string, out io.Writer) error {
 	traceName := fs.String("trace", "", "trace to test (host)")
 	loadsStr := fs.String("loads", "100", "load percentages (host)")
 	dbPath := fs.String("db", "", "results database file (host)")
+	telemetryDir := fs.String("telemetry-dir", "", "instrument tests and flush telemetry here on shutdown (generator)")
+	debugAddr := fs.String("debug-addr", "", "serve pprof + expvar telemetry snapshot on this address (generator)")
 	oneshot := fs.Bool("oneshot", false, "exit after binding (tests)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,16 +102,30 @@ func run(args []string, out io.Writer) error {
 			return &cluster.SystemUnderTest{Engine: e, Device: a, Power: a.PowerSource(), Name: kind.String()}, nil
 		}
 		g := cluster.NewGeneratorAgent(repo, factory, *analyzerAddr, *channel, logger)
+		var set *telemetry.Set
+		if *telemetryDir != "" || *debugAddr != "" {
+			set = telemetry.New(telemetry.Options{})
+			g.AttachTelemetry(set)
+		}
+		if *debugAddr != "" {
+			addr, err := serveDebug(*debugAddr, set)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "debug server on %s (pprof + /debug/vars telemetry)\n", addr)
+		}
 		addr, err := g.Listen(*listen)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "generator listening on %s (repo %s, device %s)\n", addr, *repoDir, kind)
 		if *oneshot {
-			return g.Close()
+			return flushTelemetry(g.Close(), set, *telemetryDir, out)
 		}
 		waitForSignal()
-		return g.Close()
+		// Graceful shutdown: stop accepting, wait for in-flight tests,
+		// then export the telemetry accumulated over the daemon's life.
+		return flushTelemetry(g.Close(), set, *telemetryDir, out)
 
 	case "host":
 		if *generatorAddr == "" || *traceName == "" {
@@ -142,8 +172,59 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// flushTelemetry exports the set into dir after the agent has drained
+// (closeErr is the agent's Close result).  Export errors never mask a
+// close error; both reach the caller's exit status.
+func flushTelemetry(closeErr error, set *telemetry.Set, dir string, out io.Writer) error {
+	if set == nil || dir == "" {
+		return closeErr
+	}
+	if err := set.WriteDir(dir); err != nil {
+		if closeErr != nil {
+			return fmt.Errorf("%w (and telemetry flush failed: %v)", closeErr, err)
+		}
+		return err
+	}
+	fmt.Fprintf(out, "telemetry flushed to %s\n", dir)
+	return closeErr
+}
+
+// debugRegistry is the registry the expvar callback reads; a package
+// atomic (re-pointed per run) because expvar.Publish panics on
+// duplicate names, so the name is registered once per process.
+var (
+	debugRegistry atomic.Pointer[telemetry.Registry]
+	publishOnce   sync.Once
+)
+
+// serveDebug starts the debug HTTP server on addr: net/http/pprof (via
+// its DefaultServeMux side-effect import) plus /debug/vars carrying a
+// "telemetry" snapshot of the live registry — counters and histogram
+// digests only; probe callbacks are skipped because they read
+// sim-goroutine-owned state.
+func serveDebug(addr string, set *telemetry.Set) (net.Addr, error) {
+	debugRegistry.Store(set.Registry())
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return debugRegistry.Load().Snapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listen: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr(), nil
+}
+
+// notifySignals registers ch for the shutdown signals; a variable so
+// tests can substitute a synthetic signal source.
+var notifySignals = func(ch chan os.Signal) {
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+}
+
 func waitForSignal() {
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	notifySignals(ch)
 	<-ch
 }

@@ -2,8 +2,24 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/host"
+	"repro/internal/netproto"
+	"repro/internal/repository"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 func TestOneshotRoles(t *testing.T) {
@@ -33,5 +49,127 @@ func TestBadRole(t *testing.T) {
 	}
 	if err := run([]string{"-role", "generator", "-device", "tape", "-repo", t.TempDir(), "-oneshot"}, &buf); err == nil {
 		t.Fatal("bad device accepted")
+	}
+}
+
+// syncBuffer lets the test read run()'s output while run() is still
+// writing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRE = regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+
+// TestGeneratorGracefulShutdownFlushesTelemetry is the graceful-
+// shutdown satellite: a generator with -telemetry-dir serves a test,
+// exposes the live registry over -debug-addr, and on SIGTERM drains
+// and flushes the full artifact set before run() returns.
+func TestGeneratorGracefulShutdownFlushesTelemetry(t *testing.T) {
+	repoDir := t.TempDir()
+	repo, err := repository.Open(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := synth.DefaultWebServer()
+	p.Duration = simtime.Second
+	entry, err := repo.StoreReal("raid5-hdd", "web", synth.WebServerTrace(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceName := filepath.Base(entry.Path)
+
+	// Intercept signal registration so the test can deliver a synthetic
+	// SIGTERM exactly when it wants to.
+	sigCh := make(chan chan os.Signal, 1)
+	old := notifySignals
+	notifySignals = func(ch chan os.Signal) { sigCh <- ch }
+	defer func() { notifySignals = old }()
+
+	telDir := filepath.Join(t.TempDir(), "telemetry")
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-role", "generator", "-repo", repoDir,
+			"-telemetry-dir", telDir, "-debug-addr", "127.0.0.1:0",
+		}, out)
+	}()
+
+	var ch chan os.Signal
+	select {
+	case ch = <-sigCh: // generator is listening; addresses are printed
+	case err := <-done:
+		t.Fatalf("run exited early: %v\n%s", err, out.String())
+	}
+	addrs := addrRE.FindAllStringSubmatch(out.String(), -1)
+	if len(addrs) != 2 {
+		t.Fatalf("expected debug + generator addresses in output:\n%s", out.String())
+	}
+	debugAddr, genAddr := addrs[0][1], addrs[1][1]
+
+	h, err := cluster.Dial(genAddr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome, err := h.RunTest(netproto.StartTest{TraceName: traceName, LoadProportion: 1},
+		"raid5-hdd", host.ModeVector{LoadProportion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if outcome.Result.IOs == 0 {
+		t.Fatal("test completed no IOs")
+	}
+
+	// The live registry is visible over expvar while the daemon runs.
+	resp, err := http.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"replay.completed"`) {
+		t.Fatalf("/debug/vars missing telemetry snapshot:\n%.2000s", body)
+	}
+
+	ch <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "telemetry flushed to "+telDir) {
+		t.Fatalf("flush not reported:\n%s", out.String())
+	}
+	sum, err := telemetry.ReadSummary(telDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans == 0 {
+		t.Fatalf("flushed telemetry has no spans: %+v", sum)
+	}
+	for _, f := range []string{telemetry.SeriesFile, telemetry.EventsFile, telemetry.ChromeFile} {
+		if _, err := os.Stat(filepath.Join(telDir, f)); err != nil {
+			t.Fatalf("artifact %s missing: %v", f, err)
+		}
 	}
 }

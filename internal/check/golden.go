@@ -18,6 +18,7 @@ import (
 	"repro/internal/blktrace"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // DefaultTol is the relative tolerance for golden float comparison.
@@ -243,13 +244,30 @@ func WriteGolden(path string, g *Golden) error {
 	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
+// VerifyOptions configure a golden-corpus verification pass.
+type VerifyOptions struct {
+	// Update rewrites the committed JSON instead of diffing.
+	Update bool
+	// Tol is the relative float tolerance (0 = DefaultTol).
+	Tol float64
+	// TelemetryDir, when non-empty, receives a full telemetry export
+	// (replay spans, time series, power CSV) for the first fixture
+	// that fails the diff, re-run at the first golden cell — the
+	// artifact CI uploads so a conformance break can be inspected in
+	// Perfetto without re-running anything locally.
+	TelemetryDir string
+}
+
 // VerifyGolden re-runs every *.trace.txt fixture under dir and diffs
-// the rebuilt output against the committed *.golden.json.  With update
-// set it rewrites the JSON instead of diffing.  Progress and diffs go
-// to out (one PASS/FAIL/UPDATED line per fixture); the returned error
-// is non-nil when any fixture fails, is missing its golden, or the
-// corpus is empty.
-func VerifyGolden(dir string, update bool, tol float64, out io.Writer) error {
+// the rebuilt output against the committed *.golden.json.  With
+// opts.Update it rewrites the JSON instead of diffing.  Progress and
+// diffs go to out (one PASS/FAIL/UPDATED line per fixture).  A fixture
+// that fails to load, build or diff no longer aborts the pass: the
+// remaining fixtures still run, and the returned error is a one-line
+// summary counting the failures (wrapping the first underlying error,
+// so callers can still errors.Is/As into it).
+func VerifyGolden(dir string, opts VerifyOptions, out io.Writer) error {
+	tol := opts.Tol
 	if tol <= 0 {
 		tol = DefaultTol
 	}
@@ -262,41 +280,74 @@ func VerifyGolden(dir string, update bool, tol float64, out io.Writer) error {
 		return fmt.Errorf("verify: no %s fixtures under %s", TraceSuffix, dir)
 	}
 	failed := 0
+	var firstErr error
+	fail := func(name string, err error) {
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+		fmt.Fprintf(out, "FAIL %s: %v\n", name, err)
+	}
+	telemetryDone := false
 	for _, tracePath := range paths {
 		name := strings.TrimSuffix(filepath.Base(tracePath), TraceSuffix)
 		goldenPath := strings.TrimSuffix(tracePath, TraceSuffix) + GoldenSuffix
 		trace, err := LoadFixtureTrace(tracePath)
 		if err != nil {
-			return fmt.Errorf("verify: %w", err)
+			fail(name, err)
+			continue
 		}
 		got, err := BuildGolden(name, trace)
 		if err != nil {
-			return fmt.Errorf("verify: %w", err)
+			fail(name, err)
+			continue
 		}
-		if update {
+		if opts.Update {
 			if err := WriteGolden(goldenPath, got); err != nil {
-				return fmt.Errorf("verify: %w", err)
+				fail(name, err)
+				continue
 			}
 			fmt.Fprintf(out, "UPDATED %s (%d runs)\n", name, len(got.Runs))
 			continue
 		}
 		want, err := ReadGolden(goldenPath)
 		if err != nil {
-			return fmt.Errorf("verify: %s: %w (run with -update to create)", name, err)
+			fail(name, fmt.Errorf("%w (run with -update to create)", err))
+			continue
 		}
 		diffs := CompareGolden(want, got, tol)
 		if len(diffs) == 0 {
 			fmt.Fprintf(out, "PASS %s (%d runs)\n", name, len(got.Runs))
 			continue
 		}
-		failed++
-		fmt.Fprintf(out, "FAIL %s: %d mismatch(es)\n", name, len(diffs))
+		fail(name, fmt.Errorf("%d mismatch(es)", len(diffs)))
 		for _, d := range diffs {
 			fmt.Fprintf(out, "  %s\n", d)
 		}
+		if opts.TelemetryDir != "" && !telemetryDone {
+			telemetryDone = true
+			writeFailureTelemetry(opts.TelemetryDir, name, trace, out)
+		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("verify: %d of %d fixtures failed", failed, len(paths))
+		return fmt.Errorf("verify: %d of %d fixtures failed: %w", failed, len(paths), firstErr)
 	}
 	return nil
+}
+
+// writeFailureTelemetry re-runs a failing fixture's first golden cell
+// with full instrumentation and exports the artifact directory.  Export
+// problems are reported on out but never mask the verification failure
+// itself.
+func writeFailureTelemetry(dir, name string, trace *blktrace.Trace, out io.Writer) {
+	set := telemetry.New(telemetry.Options{})
+	if _, err := experiments.MeasureAtLoadTelemetry(experiments.DefaultConfig(), goldenKinds[0], trace, goldenLoads[0], set); err != nil {
+		fmt.Fprintf(out, "  telemetry capture for %s failed: %v\n", name, err)
+		return
+	}
+	if err := set.WriteDir(dir); err != nil {
+		fmt.Fprintf(out, "  telemetry export for %s failed: %v\n", name, err)
+		return
+	}
+	fmt.Fprintf(out, "  telemetry for %s (%s load %v) written to %s\n", name, goldenKinds[0], goldenLoads[0], dir)
 }

@@ -3,10 +3,13 @@ package check
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // -update regenerates the committed golden JSON documents:
@@ -18,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite golden fixture outputs instead 
 // the committed outputs (or regenerates them under -update).
 func TestGoldenCorpus(t *testing.T) {
 	var buf bytes.Buffer
-	err := VerifyGolden("testdata/golden", *update, DefaultTol, &buf)
+	err := VerifyGolden("testdata/golden", VerifyOptions{Update: *update, Tol: DefaultTol}, &buf)
 	t.Log("\n" + buf.String())
 	if err != nil {
 		t.Fatal(err)
@@ -57,18 +60,18 @@ func TestGoldenUpdateRegenerates(t *testing.T) {
 	n := copyCorpusTraces(t, dir)
 
 	// Verifying without goldens fails and points at -update.
-	if err := VerifyGolden(dir, false, 0, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-update") {
+	if err := VerifyGolden(dir, VerifyOptions{}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-update") {
 		t.Fatalf("missing goldens not reported: %v", err)
 	}
 
 	var buf bytes.Buffer
-	if err := VerifyGolden(dir, true, 0, &buf); err != nil {
+	if err := VerifyGolden(dir, VerifyOptions{Update: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.Count(buf.String(), "UPDATED"); got != n {
 		t.Fatalf("updated %d of %d fixtures:\n%s", got, n, buf.String())
 	}
-	if err := VerifyGolden(dir, false, 0, &bytes.Buffer{}); err != nil {
+	if err := VerifyGolden(dir, VerifyOptions{}, &bytes.Buffer{}); err != nil {
 		t.Fatalf("freshly regenerated corpus does not verify: %v", err)
 	}
 
@@ -86,7 +89,7 @@ func TestGoldenUpdateRegenerates(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	err = VerifyGolden(dir, false, 0, &buf)
+	err = VerifyGolden(dir, VerifyOptions{}, &buf)
 	if err == nil || !strings.Contains(buf.String(), ".iops") {
 		t.Fatalf("tampered golden not caught: err=%v\n%s", err, buf.String())
 	}
@@ -126,7 +129,7 @@ func TestCompareGoldenTolerance(t *testing.T) {
 
 // TestVerifyGoldenEmptyDir requires a non-empty corpus.
 func TestVerifyGoldenEmptyDir(t *testing.T) {
-	if err := VerifyGolden(t.TempDir(), false, 0, &bytes.Buffer{}); err == nil {
+	if err := VerifyGolden(t.TempDir(), VerifyOptions{}, &bytes.Buffer{}); err == nil {
 		t.Fatal("empty corpus passed")
 	}
 }
@@ -141,8 +144,74 @@ func TestVerifyGoldenTruncatedFixture(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(text), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := VerifyGolden(dir, false, 0, &bytes.Buffer{})
+	err := VerifyGolden(dir, VerifyOptions{}, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "cut"+TraceSuffix) {
 		t.Fatalf("truncated fixture not labelled: %v", err)
+	}
+}
+
+// TestVerifyGoldenContinuesPastFailure pins the partial-failure
+// contract: one broken fixture must not stop the rest of the corpus
+// from verifying, and the summary error counts every failure.
+func TestVerifyGoldenContinuesPastFailure(t *testing.T) {
+	dir := t.TempDir()
+	n := copyCorpusTraces(t, dir)
+	if err := VerifyGolden(dir, VerifyOptions{Update: true}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// An unreadable fixture sorted first must not shadow the healthy rest.
+	bad := filepath.Join(dir, "aaa-cut"+TraceSuffix)
+	text := "# blktrace-text v1\ndevice cut\nB 0 3\n0 4096 R\n8 4096 R\n"
+	if err := os.WriteFile(bad, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := VerifyGolden(dir, VerifyOptions{}, &buf)
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("1 of %d fixtures failed", n+1)) {
+		t.Fatalf("summary error = %v", err)
+	}
+	if got := strings.Count(buf.String(), "PASS"); got != n {
+		t.Fatalf("healthy fixtures after the broken one: %d PASS, want %d\n%s", got, n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL aaa-cut") {
+		t.Fatalf("broken fixture not reported:\n%s", buf.String())
+	}
+}
+
+// TestVerifyGoldenFailureTelemetry checks the diagnostic export: a
+// diff failure with TelemetryDir set leaves a parseable artifact
+// directory for the first failing fixture.
+func TestVerifyGoldenFailureTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	copyCorpusTraces(t, dir)
+	if err := VerifyGolden(dir, VerifyOptions{Update: true}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	goldens, err := filepath.Glob(filepath.Join(dir, "*"+GoldenSuffix))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no goldens written: %v", err)
+	}
+	g, err := ReadGolden(goldens[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Runs[0].Completed++
+	if err := WriteGolden(goldens[0], g); err != nil {
+		t.Fatal(err)
+	}
+	telDir := filepath.Join(t.TempDir(), "telemetry")
+	var buf bytes.Buffer
+	if err := VerifyGolden(dir, VerifyOptions{TelemetryDir: telDir}, &buf); err == nil {
+		t.Fatal("tampered corpus passed")
+	}
+	sum, err := telemetry.ReadSummary(telDir)
+	if err != nil {
+		t.Fatalf("failure telemetry not written: %v\n%s", err, buf.String())
+	}
+	if sum.Spans == 0 {
+		t.Fatalf("failure telemetry has no spans: %+v", sum)
+	}
+	if !strings.Contains(buf.String(), telDir) {
+		t.Fatalf("telemetry path not reported:\n%s", buf.String())
 	}
 }

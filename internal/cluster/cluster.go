@@ -38,6 +38,7 @@ import (
 	"repro/internal/repository"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // SystemUnderTest is a freshly provisioned simulated storage system:
@@ -64,7 +65,19 @@ type GeneratorAgent struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	logger *log.Logger
+
+	tel   *telemetry.Set
+	telMu sync.Mutex
 }
+
+// AttachTelemetry makes every subsequent test run instrumented into
+// set: replay and array probes, per-engine kernel gauges, and run
+// spans, accumulated across tests for the daemon's lifetime (the
+// registry snapshot is what tracerd's debug endpoint exposes).
+// Instrumented tests serialize on an internal mutex — the shared
+// registry and tracer are not synchronized for concurrent replays.
+// Call before Listen.  A nil set disables instrumentation.
+func (g *GeneratorAgent) AttachTelemetry(set *telemetry.Set) { g.tel = set }
 
 // NewGeneratorAgent creates a generator serving traces from repo and
 // provisioning systems from factory.  analyzerAddr may be empty when no
@@ -171,7 +184,23 @@ func (g *GeneratorAgent) runTest(conn *netproto.Conn, seq uint64, st netproto.St
 	if cycle <= 0 {
 		cycle = simtime.Second
 	}
-	res, err := replay.ReplayFiltered(sut.Engine, sut.Device, trace, f, replay.Options{SamplingCycle: cycle})
+	opts := replay.Options{SamplingCycle: cycle}
+	if g.tel != nil {
+		g.telMu.Lock()
+		defer g.telMu.Unlock()
+		if at, ok := sut.Device.(interface{ AttachTelemetry(*telemetry.Set) }); ok {
+			at.AttachTelemetry(g.tel)
+		}
+		telemetry.WireEngine(g.tel, sut.Engine)
+		opts.Telemetry = telemetry.NewReplayProbe(g.tel)
+		// Windowed sampling binds to the first test's engine (later
+		// StartSampling calls no-op); counters, histograms and spans
+		// keep accumulating across every test.
+		horizon := sut.Engine.Now().Add(trace.Duration() + 2*g.tel.Cadence())
+		g.tel.StartSampling(sut.Engine, horizon)
+		defer func() { g.tel.Flush(sut.Engine.Now()) }()
+	}
+	res, err := replay.ReplayFiltered(sut.Engine, sut.Device, trace, f, opts)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/repository"
 	"repro/internal/simtime"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // buildRepo creates a repository holding one synthetic peak trace and
@@ -254,6 +255,55 @@ func TestMultiChannelAnalyzer(t *testing.T) {
 	}
 	if outA.Power.Channel != "hdd-array" || outB.Power.Channel != "hdd-array-2" {
 		t.Fatalf("channels crossed: %q / %q", outA.Power.Channel, outB.Power.Channel)
+	}
+}
+
+// TestGeneratorTelemetryAccumulates wires a telemetry Set into the
+// generator agent: counters must match the protocol-reported IO counts
+// across consecutive tests, spans and sampling windows must exist, and
+// the registry snapshot (what tracerd's debug endpoint serves) must be
+// readable from a foreign goroutine.
+func TestGeneratorTelemetryAccumulates(t *testing.T) {
+	repo, mode, traceName := buildRepo(t)
+	set := telemetry.New(telemetry.Options{})
+
+	gen := NewGeneratorAgent(repo, hddFactory, "", "ch0", nil)
+	gen.AttachTelemetry(set)
+	gAddr, err := gen.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen.Close()
+	h, err := Dial(gAddr.String(), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var total int64
+	for _, load := range []float64{1, 0.5} {
+		out, err := h.RunTest(netproto.StartTest{TraceName: traceName, LoadProportion: load},
+			"raid5-hdd", host.ModeVector{RequestBytes: mode.RequestBytes, LoadProportion: load})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += out.Result.IOs
+	}
+	if got := set.Registry().Counter("replay.completed").Value(); got != total {
+		t.Fatalf("replay.completed = %d, want %d accumulated over both tests", got, total)
+	}
+	if len(set.Tracer().Spans()) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if len(set.Windows()) == 0 {
+		t.Fatal("no sampling windows recorded")
+	}
+	snap := set.Registry().Snapshot()
+	if snap["replay.completed"] != total {
+		t.Fatalf("snapshot disagrees: %v", snap["replay.completed"])
+	}
+	if err := set.WriteDir(t.TempDir()); err != nil {
+		t.Fatalf("export after distributed run: %v", err)
 	}
 }
 

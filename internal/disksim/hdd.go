@@ -25,6 +25,7 @@ import (
 	"repro/internal/powersim"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // HDDParams describe a hard disk drive model.
@@ -140,7 +141,17 @@ type HDD struct {
 	lastEnd  int64   // byte address following the last transfer (for sequential detection)
 
 	stats HDDStats
+	tel   *telemetry.DiskProbe
 }
+
+// Name reports the drive's configured label.
+func (d *HDD) Name() string { return d.params.Name }
+
+// AttachTelemetry arms the drive with a telemetry probe recording
+// service starts (with the positioning/transfer split) and idle
+// transitions.  A nil probe disables instrumentation at the cost of
+// one pointer compare per service.
+func (d *HDD) AttachTelemetry(p *telemetry.DiskProbe) { d.tel = p }
 
 // Event kinds for the drive's closure-free kernel callbacks.
 const (
@@ -185,6 +196,7 @@ func (d *HDD) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
 		} else {
 			d.busy = false
 			d.setPower(finish, "idle")
+			d.tel.OnIdle(finish)
 		}
 		p.done(finish)
 	}
@@ -409,6 +421,7 @@ func (d *HDD) startNext() {
 	if seek > 0 {
 		d.stats.Seeks++
 	}
+	d.tel.OnService(p.req.Op == storage.Write, now, d.params.CmdOverhead+seek, transfer, total)
 
 	d.inflight = p
 	d.engine.ScheduleEvent(finish, d, simtime.EventArg{Kind: hddEvServiceDone})

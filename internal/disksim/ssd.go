@@ -7,6 +7,7 @@ import (
 	"repro/internal/powersim"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // SSDParams describe an SLC solid-state disk model.
@@ -94,7 +95,16 @@ type SSD struct {
 	lastEnd  int64
 
 	stats SSDStats
+	tel   *telemetry.DiskProbe
 }
+
+// Name reports the device's configured label.
+func (d *SSD) Name() string { return d.params.Name }
+
+// AttachTelemetry arms the device with a telemetry probe recording
+// service starts and idle transitions.  A nil probe disables
+// instrumentation at the cost of one pointer compare per service.
+func (d *SSD) AttachTelemetry(p *telemetry.DiskProbe) { d.tel = p }
 
 // OnEvent implements simtime.Handler: the device is its own prebound
 // service-completion callback, so the hot completion path allocates
@@ -116,6 +126,7 @@ func (d *SSD) OnEvent(e *simtime.Engine, _ simtime.EventArg) {
 	} else {
 		d.busy = false
 		d.power.Transition(finish, "idle")
+		d.tel.OnIdle(finish)
 	}
 	p.done(finish)
 }
@@ -217,6 +228,9 @@ func (d *SSD) startNext() {
 	}
 	d.power.Transition(now, state)
 	d.stats.BusyTime += st
+	// No mechanical positioning on flash: the whole service period is
+	// transfer from the probe's point of view.
+	d.tel.OnService(p.req.Op == storage.Write, now, 0, st, st)
 
 	d.inflight = p
 	d.engine.ScheduleEvent(finish, d, simtime.EventArg{})

@@ -25,6 +25,7 @@ import (
 	"repro/internal/powersim"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Level selects the array organisation.
@@ -132,6 +133,45 @@ type Array struct {
 	chassis *powersim.Timeline
 	failed  int // index of the failed member, or -1 when healthy
 	stats   Stats
+	tel     *telemetry.RAIDProbe
+}
+
+// diskAttacher is satisfied by disk models that accept a telemetry
+// probe (HDD and SSD both do).
+type diskAttacher interface {
+	AttachTelemetry(*telemetry.DiskProbe)
+}
+
+// named is satisfied by disk models that expose their configured name.
+type named interface {
+	Name() string
+}
+
+// AttachTelemetry wires the array and its member disks into s: stripe
+// path and parity counters on the controller, a per-disk queue-depth
+// probe gauge, and a DiskProbe handed to each member that accepts one.
+// A nil Set detaches nothing and costs nothing — probe methods on nil
+// receivers are no-ops.
+func (a *Array) AttachTelemetry(s *telemetry.Set) {
+	if s == nil {
+		return
+	}
+	a.tel = telemetry.NewRAIDProbe(s)
+	reg := s.Registry()
+	for i, d := range a.disks {
+		label := fmt.Sprintf("%d", i)
+		if n, ok := d.(named); ok && n.Name() != "" {
+			label = n.Name()
+		}
+		if qd, ok := d.(interface{ QueueDepth() int }); ok {
+			reg.ProbeGauge(fmt.Sprintf("raid.disk.%s.qdepth", label), func() float64 {
+				return float64(qd.QueueDepth())
+			})
+		}
+		if at, ok := d.(diskAttacher); ok {
+			at.AttachTelemetry(telemetry.NewDiskProbe(s, label, i))
+		}
+	}
 }
 
 // FailDisk marks member i failed (RAID5 only): subsequent reads that
@@ -438,6 +478,16 @@ func (a *Array) issueAll(ops []diskOp, done func(simtime.Time)) {
 		return
 	}
 	var latest simtime.Time
+	finish := func(t simtime.Time) {
+		if t > latest {
+			latest = t
+		}
+		outstanding--
+		if outstanding == 0 {
+			done(latest)
+		}
+	}
+	start := a.engine.Now()
 	for _, op := range ops {
 		switch op.req.Op {
 		case storage.Read:
@@ -445,14 +495,17 @@ func (a *Array) issueAll(ops []diskOp, done func(simtime.Time)) {
 		case storage.Write:
 			a.stats.DiskWrites++
 		}
+		if a.tel == nil {
+			a.disks[op.disk].Submit(op.req, finish)
+			continue
+		}
+		// The span closure captures the op's identity; it exists only on
+		// the instrumented path so disabled telemetry allocates nothing
+		// beyond the shared finish closure.
+		disk, write, size := op.disk, op.req.Op == storage.Write, op.req.Size
 		a.disks[op.disk].Submit(op.req, func(t simtime.Time) {
-			if t > latest {
-				latest = t
-			}
-			outstanding--
-			if outstanding == 0 {
-				done(latest)
-			}
+			a.tel.OnDiskOp(disk, write, start, t, size)
+			finish(t)
 		})
 	}
 }
@@ -467,6 +520,7 @@ func (a *Array) submitRead(req storage.Request, done func(simtime.Time)) {
 	for _, seg := range segs {
 		if seg.disk == a.failed {
 			a.stats.ReconstructReads++
+			a.tel.OnReconstructRead()
 			for j := range a.disks {
 				if j == a.failed {
 					continue
@@ -582,11 +636,13 @@ func (a *Array) executeStripeWrite(p stripePlan, done func(simtime.Time)) {
 	}
 	if parityAlive {
 		a.stats.ParityWrites++
+		a.tel.OnParity(false)
 		writes = append(writes, diskOp{disk: p.parityDisk, req: storage.Request{Op: storage.Write, Offset: p.parityOffset, Size: p.paritySize}})
 	}
 
 	if p.fullStripe {
 		a.stats.FullStripeWrites++
+		a.tel.OnStripeWrite(true, degraded)
 		// Parity is computed from the new data in controller memory —
 		// no pre-reads needed.
 		a.issueAll(writes, done)
@@ -594,6 +650,7 @@ func (a *Array) executeStripeWrite(p stripePlan, done func(simtime.Time)) {
 	}
 
 	a.stats.RMWStripes++
+	a.tel.OnStripeWrite(false, degraded)
 	var reads []diskOp
 	switch {
 	case !degraded:
@@ -602,6 +659,7 @@ func (a *Array) executeStripeWrite(p stripePlan, done func(simtime.Time)) {
 			reads = append(reads, diskOp{disk: seg.disk, req: storage.Request{Op: storage.Read, Offset: seg.diskOffset, Size: seg.size}})
 		}
 		a.stats.ParityReads++
+		a.tel.OnParity(true)
 		reads = append(reads, diskOp{disk: p.parityDisk, req: storage.Request{Op: storage.Read, Offset: p.parityOffset, Size: p.paritySize}})
 	case !parityAlive:
 		// Parity lost: data writes need no pre-reads at all.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/blktrace"
 	"repro/internal/simtime"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // percentileIndex returns the nearest-rank index for quantile q in a
@@ -46,6 +47,12 @@ type Options struct {
 	// assert causality and per-device FIFO ordering without adding any
 	// cost to unobserved runs.
 	Observer Observer
+	// Telemetry, when non-nil, records issue/complete counts, response
+	// latency, in-flight depth and filter pass/drop into a telemetry
+	// set.  It rides its own field rather than Observer because the
+	// conformance checker owns (and overwrites) Observer; a nil probe
+	// costs one pointer compare per call and never allocates.
+	Telemetry *telemetry.ReplayProbe
 }
 
 // Observer receives per-IO notifications from a replay run.  bunch is
@@ -129,6 +136,7 @@ func Replay(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, o
 		trace:       trace,
 		res:         res,
 		obs:         opts.Observer,
+		tel:         opts.Telemetry,
 		completions: make([]completion, 0, trace.NumIOs()),
 	}
 	engine.Grow(len(trace.Bunches))
@@ -153,6 +161,7 @@ type openLoopRun struct {
 	trace       *blktrace.Trace
 	res         *Result
 	obs         Observer
+	tel         *telemetry.ReplayProbe
 	completions []completion
 }
 
@@ -166,12 +175,14 @@ func (r *openLoopRun) OnEvent(e *simtime.Engine, arg simtime.EventArg) {
 		if r.obs != nil {
 			r.obs.ObserveIssue(bunch, pi, issueTime)
 		}
+		r.tel.OnIssue(bunch, pi, issueTime)
 		pkg := pi
 		r.dev.Submit(p.Request(), func(finish simtime.Time) {
 			r.res.Completed++
 			if r.obs != nil {
 				r.obs.ObserveComplete(bunch, pkg, issueTime, finish)
 			}
+			r.tel.OnComplete(bunch, pkg, issueTime, finish, size)
 			r.completions = append(r.completions, completion{
 				finish:   finish,
 				issue:    issueTime,
@@ -321,11 +332,13 @@ func ReplayClosedLoop(engine *simtime.Engine, dev storage.Device, trace *blktrac
 		if opts.Observer != nil {
 			opts.Observer.ObserveIssue(fp.bunch, fp.pkg, issueTime)
 		}
+		opts.Telemetry.OnIssue(fp.bunch, fp.pkg, issueTime)
 		dev.Submit(fp.p.Request(), func(finish simtime.Time) {
 			res.Completed++
 			if opts.Observer != nil {
 				opts.Observer.ObserveComplete(fp.bunch, fp.pkg, issueTime, finish)
 			}
+			opts.Telemetry.OnComplete(fp.bunch, fp.pkg, issueTime, finish, fp.p.Size)
 			completions = append(completions, completion{
 				finish:   finish,
 				issue:    issueTime,
@@ -347,6 +360,7 @@ func ReplayClosedLoop(engine *simtime.Engine, dev storage.Device, trace *blktrac
 // the filter name into the Result.
 func ReplayFiltered(engine *simtime.Engine, dev storage.Device, trace *blktrace.Trace, f Filter, opts Options) (*Result, error) {
 	filtered := f.Apply(trace)
+	opts.Telemetry.OnFilter(filtered.NumIOs(), trace.NumIOs()-filtered.NumIOs())
 	res, err := Replay(engine, dev, filtered, opts)
 	if err != nil {
 		return nil, err

@@ -124,9 +124,11 @@ func (funcEvent) OnEvent(_ *Engine, arg EventArg) { arg.Ptr.(func())() }
 // Engine is a discrete-event simulation executive.  The zero value is
 // ready to use; Schedule events and call Run.
 type Engine struct {
-	now  Time
-	seq  uint64
-	heap []event // 4-ary min-heap on (at, seq)
+	now     Time
+	seq     uint64
+	heap    []event // 4-ary min-heap on (at, seq)
+	fired   uint64  // events executed so far
+	maxHeap int     // heap-depth high water
 }
 
 // NewEngine returns an Engine with its clock at zero.
@@ -137,6 +139,14 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of events not yet executed.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Fired reports the number of events executed since the engine was
+// created — the kernel's basic progress metric for telemetry.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// MaxHeapDepth reports the high-water mark of pending events, the
+// kernel-side signal of scheduling pressure.
+func (e *Engine) MaxHeapDepth() int { return e.maxHeap }
 
 // Grow reserves heap capacity for at least n additional pending events.
 // Bulk schedulers (trace replay) call it once up front so the steady
@@ -164,6 +174,9 @@ func (e *Engine) ScheduleEvent(at Time, h Handler, arg EventArg) {
 	}
 	e.seq++
 	e.heap = append(e.heap, event{at: at, seq: e.seq, h: h, arg: arg})
+	if len(e.heap) > e.maxHeap {
+		e.maxHeap = len(e.heap)
+	}
 	e.siftUp(len(e.heap) - 1)
 }
 
@@ -261,6 +274,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.pop()
 	e.now = ev.at
+	e.fired++
 	ev.h.OnEvent(e, ev.arg)
 	return true
 }

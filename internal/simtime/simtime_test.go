@@ -388,6 +388,37 @@ func TestScheduleEventSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestFiredAndMaxHeapDepth pins the kernel introspection counters the
+// telemetry layer samples: Fired counts dispatched events, and
+// MaxHeapDepth records the pending-heap high-water mark.
+func TestFiredAndMaxHeapDepth(t *testing.T) {
+	e := NewEngine()
+	if e.Fired() != 0 || e.MaxHeapDepth() != 0 {
+		t.Fatalf("fresh engine: fired=%d maxheap=%d", e.Fired(), e.MaxHeapDepth())
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(i+1), func() {})
+	}
+	if got := e.MaxHeapDepth(); got != n {
+		t.Fatalf("max heap depth = %d before running, want %d", got, n)
+	}
+	e.Run()
+	if got := e.Fired(); got != n {
+		t.Fatalf("fired = %d, want %d", got, n)
+	}
+	// The high-water mark survives the drain.
+	if got := e.MaxHeapDepth(); got != n {
+		t.Fatalf("max heap depth = %d after drain, want %d", got, n)
+	}
+	// One more event: fired keeps counting, the watermark holds.
+	e.Schedule(Time(n+1), func() {})
+	e.Run()
+	if e.Fired() != n+1 || e.MaxHeapDepth() != n {
+		t.Fatalf("fired=%d maxheap=%d after extra event", e.Fired(), e.MaxHeapDepth())
+	}
+}
+
 func TestDurationConversions(t *testing.T) {
 	if FromSeconds(1.5) != 1500*Millisecond {
 		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))

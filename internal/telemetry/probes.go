@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// ReplayProbe instruments the replay layer: issue/complete counts,
+// response-time histogram, in-flight depth and filter pass/drop.  A
+// nil probe is a no-op on every method, so the disabled hot path costs
+// one pointer compare.
+type ReplayProbe struct {
+	issued, completed      *Counter
+	filterPass, filterDrop *Counter
+	bytes                  *Counter
+	inflight               *Gauge
+	inflightMax            *Watermark
+	latency                *Histogram
+	depth                  *Histogram
+	tr                     *Tracer
+}
+
+// NewReplayProbe registers the replay instruments on s; nil Set gives
+// a nil (disabled) probe.
+func NewReplayProbe(s *Set) *ReplayProbe {
+	if s == nil {
+		return nil
+	}
+	r := s.Registry()
+	return &ReplayProbe{
+		issued:      r.Counter("replay.issued"),
+		completed:   r.Counter("replay.completed"),
+		filterPass:  r.Counter("replay.filter_pass"),
+		filterDrop:  r.Counter("replay.filter_drop"),
+		bytes:       r.Counter("replay.bytes"),
+		inflight:    r.Gauge("replay.inflight"),
+		inflightMax: r.Watermark("replay.inflight_max"),
+		latency:     r.Histogram("replay.response_ns", LatencyBounds()),
+		depth:       r.Histogram("replay.inflight_depth", DepthBounds()),
+		tr:          s.Tracer(),
+	}
+}
+
+// OnIssue records one IO issued at time at.
+func (p *ReplayProbe) OnIssue(bunch, pkg int, at simtime.Time) {
+	if p == nil {
+		return
+	}
+	p.issued.Inc()
+	d := p.inflight.Add(1)
+	p.inflightMax.Update(d)
+	p.depth.Observe(d)
+}
+
+// OnComplete records one IO completing, emitting the issue→complete
+// span on the replay lane.
+func (p *ReplayProbe) OnComplete(bunch, pkg int, issued, finished simtime.Time, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.completed.Inc()
+	p.bytes.Add(bytes)
+	p.inflight.Add(-1)
+	p.latency.Observe(int64(finished.Sub(issued)))
+	p.tr.Emit(Span{
+		Cat: "replay", Name: "io", TID: 0,
+		Start: issued, Dur: finished.Sub(issued),
+		Bunch: int32(bunch), Pkg: int32(pkg), Disk: -1, Bytes: bytes,
+	})
+}
+
+// OnFilter records the load-control outcome: pass IOs kept, drop IOs
+// removed by the filter.
+func (p *ReplayProbe) OnFilter(pass, drop int) {
+	if p == nil {
+		return
+	}
+	p.filterPass.Add(int64(pass))
+	p.filterDrop.Add(int64(drop))
+}
+
+// RAIDProbe instruments the array layer: stripe write paths, parity
+// traffic, degraded-mode reads, and per-member-disk operation spans.
+type RAIDProbe struct {
+	fullStripe, rmwStripe *Counter
+	degradedStripe        *Counter
+	reconstructReads      *Counter
+	parityReads           *Counter
+	parityWrites          *Counter
+	diskReads, diskWrites *Counter
+	tr                    *Tracer
+}
+
+// NewRAIDProbe registers the array instruments on s; nil Set gives a
+// nil (disabled) probe.
+func NewRAIDProbe(s *Set) *RAIDProbe {
+	if s == nil {
+		return nil
+	}
+	r := s.Registry()
+	return &RAIDProbe{
+		fullStripe:       r.Counter("raid.full_stripe_writes"),
+		rmwStripe:        r.Counter("raid.rmw_stripes"),
+		degradedStripe:   r.Counter("raid.degraded_stripes"),
+		reconstructReads: r.Counter("raid.reconstruct_reads"),
+		parityReads:      r.Counter("raid.parity_reads"),
+		parityWrites:     r.Counter("raid.parity_writes"),
+		diskReads:        r.Counter("raid.disk_reads"),
+		diskWrites:       r.Counter("raid.disk_writes"),
+		tr:               s.Tracer(),
+	}
+}
+
+// OnStripeWrite records one stripe write's path: full-stripe (parity
+// from new data only) vs. read-modify-write, and whether the stripe
+// was degraded.
+func (p *RAIDProbe) OnStripeWrite(fullStripe, degraded bool) {
+	if p == nil {
+		return
+	}
+	if fullStripe {
+		p.fullStripe.Inc()
+	} else {
+		p.rmwStripe.Inc()
+	}
+	if degraded {
+		p.degradedStripe.Inc()
+	}
+}
+
+// OnReconstructRead records one read served by reconstruction from the
+// surviving members.
+func (p *RAIDProbe) OnReconstructRead() {
+	if p != nil {
+		p.reconstructReads.Inc()
+	}
+}
+
+// OnParity records parity traffic to a member disk.
+func (p *RAIDProbe) OnParity(read bool) {
+	if p == nil {
+		return
+	}
+	if read {
+		p.parityReads.Inc()
+	} else {
+		p.parityWrites.Inc()
+	}
+}
+
+// OnDiskOp records one member-disk operation completing, emitting a
+// span on that disk's lane.
+func (p *RAIDProbe) OnDiskOp(disk int, write bool, start, end simtime.Time, bytes int64) {
+	if p == nil {
+		return
+	}
+	name := "read"
+	if write {
+		p.diskWrites.Inc()
+		name = "write"
+	} else {
+		p.diskReads.Inc()
+	}
+	p.tr.Emit(Span{
+		Cat: "raid", Name: name, TID: DiskTID(disk),
+		Start: start, Dur: end.Sub(start), Disk: int32(disk), Bytes: bytes,
+	})
+}
+
+// DiskProbe instruments one disk model: service starts (busy), seek vs.
+// transfer split, and idle transitions.  Metric names are prefixed
+// "disk.<label>.".
+type DiskProbe struct {
+	services *Counter
+	seeks    *Counter
+	idles    *Counter
+	busyNs   *Counter
+	seekNs   *Counter
+	tid      int32
+	tr       *Tracer
+}
+
+// NewDiskProbe registers instruments for the disk labelled label
+// (lane tid DiskTID(disk)); nil Set gives a nil (disabled) probe.
+func NewDiskProbe(s *Set, label string, disk int) *DiskProbe {
+	if s == nil {
+		return nil
+	}
+	r := s.Registry()
+	prefix := fmt.Sprintf("disk.%s.", label)
+	return &DiskProbe{
+		services: r.Counter(prefix + "services"),
+		seeks:    r.Counter(prefix + "seeks"),
+		idles:    r.Counter(prefix + "idles"),
+		busyNs:   r.Counter(prefix + "busy_ns"),
+		seekNs:   r.Counter(prefix + "seek_ns"),
+		tid:      DiskTID(disk),
+		tr:       s.Tracer(),
+	}
+}
+
+// OnService records one request entering service at start: position is
+// the non-transfer portion (command overhead + seek + rotation; zero
+// for SSDs), transfer the media transfer time, total the full service
+// time.  Emits position and transfer spans on the disk's lane.
+func (p *DiskProbe) OnService(write bool, start simtime.Time, position, transfer, total simtime.Duration) {
+	if p == nil {
+		return
+	}
+	p.services.Inc()
+	p.busyNs.Add(int64(total))
+	if position > 0 {
+		p.seeks.Inc()
+		p.seekNs.Add(int64(position))
+		p.tr.Emit(Span{Cat: "disk", Name: "position", TID: p.tid, Start: start, Dur: position, Disk: p.tid - 1})
+	}
+	name := "xfer-read"
+	if write {
+		name = "xfer-write"
+	}
+	p.tr.Emit(Span{
+		Cat: "disk", Name: name, TID: p.tid,
+		Start: start.Add(total - transfer), Dur: transfer, Disk: p.tid - 1,
+	})
+}
+
+// OnIdle records the disk going idle at time at (queue drained).
+func (p *DiskProbe) OnIdle(at simtime.Time) {
+	if p != nil {
+		p.idles.Inc()
+	}
+}
+
+// WireEngine registers kernel probes: events fired, pending heap depth
+// and heap high-water.  No-op when either argument is nil.
+func WireEngine(s *Set, e *simtime.Engine) {
+	if s == nil || e == nil {
+		return
+	}
+	r := s.Registry()
+	r.ProbeCounter("sim.events_fired", func() float64 { return float64(e.Fired()) })
+	r.ProbeGauge("sim.heap_pending", func() float64 { return float64(e.Pending()) })
+	r.ProbeGauge("sim.heap_max", func() float64 { return float64(e.MaxHeapDepth()) })
+}

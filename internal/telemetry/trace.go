@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/simtime"
+)
+
+// Span is one timed operation recorded by the run tracer.  Layers emit
+// at their own granularity: replay emits cat "replay" issue→complete
+// spans, raid emits cat "raid" per-member-disk operations, and disksim
+// emits cat "disk" service detail (positioning vs. transfer).
+type Span struct {
+	// Cat is the emitting layer ("replay", "raid", "disk").
+	Cat string `json:"cat"`
+	// Name is the operation ("io", "read", "write", "position", …).
+	Name string `json:"name"`
+	// TID is the Chrome-trace row: 0 for the replay lane, DiskTID(i)
+	// for per-disk lanes.
+	TID int32 `json:"tid"`
+	// Start and Dur bound the span on the virtual clock.
+	Start simtime.Time     `json:"start_ns"`
+	Dur   simtime.Duration `json:"dur_ns"`
+	// Bunch and Pkg locate the originating IO package, where known.
+	Bunch int32 `json:"bunch,omitempty"`
+	Pkg   int32 `json:"pkg,omitempty"`
+	// Disk is the member-disk index for raid/disk spans, -1 otherwise.
+	Disk int32 `json:"disk,omitempty"`
+	// Bytes is the payload size, where known.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// DiskTID returns the Chrome-trace row for member disk i; row 0 is the
+// replay lane.
+func DiskTID(disk int) int32 { return int32(disk) + 1 }
+
+// DefaultMaxSpans caps the tracer's buffer; spans beyond it are counted
+// as dropped rather than grown without bound.
+const DefaultMaxSpans = 1 << 20
+
+// Tracer accumulates spans for one run.  It is owned by the simulation
+// goroutine and is not safe for concurrent use.
+type Tracer struct {
+	max     int
+	spans   []Span
+	dropped int64
+}
+
+// NewTracer returns a tracer holding at most max spans (0 means
+// DefaultMaxSpans).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Tracer{max: max}
+}
+
+// Emit records a span, dropping it if the buffer is full.  Safe on a
+// nil receiver (no-op).
+func (t *Tracer) Emit(sp Span) {
+	if t == nil {
+		return
+	}
+	if len(t.spans) >= t.max {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, sp)
+}
+
+// Spans returns the recorded spans in emission order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Dropped reports how many spans were discarded at the cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// WriteJSONL writes one JSON object per span — the grep-able event
+// trace.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Spans() {
+		if err := enc.Encode(&t.spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one trace-event in Chrome's JSON format (ph "X" =
+// complete event; ts/dur in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level object Perfetto and chrome://tracing
+// both accept.
+type chromeTraceFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the spans as Chrome trace-event JSON, so the
+// run opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	f := chromeTraceFile{TraceEvents: make([]chromeEvent, 0, len(spans)), DisplayUnit: "ms"}
+	for i := range spans {
+		sp := &spans[i]
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			TS:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			PID:  1,
+			TID:  sp.TID,
+		}
+		args := make(map[string]any, 3)
+		if sp.Bytes != 0 {
+			args["bytes"] = sp.Bytes
+		}
+		if sp.Cat == "replay" {
+			args["bunch"] = sp.Bunch
+			args["pkg"] = sp.Pkg
+		}
+		if sp.Disk >= 0 && sp.Cat != "replay" {
+			args["disk"] = sp.Disk
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&f); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
