@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,6 +83,93 @@ func TestBinTextRoundTripViaCLI(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Fatal("bin -> text -> bin round trip changed the file")
+	}
+}
+
+// TestMappedRoundTripViaCLI drives bin -> map -> bin and bin -> map ->
+// text -> bin through the streaming converter and requires byte
+// identity with the direct conversion.
+func TestMappedRoundTripViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSRT(t, dir)
+	bin := filepath.Join(dir, "t.replay")
+	rmap := filepath.Join(dir, "t.rmap")
+	bin2 := filepath.Join(dir, "t2.replay")
+	txt := filepath.Join(dir, "t.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", bin}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bin, "-out", rmap, "-mode", "bin2map"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", rmap, "-out", bin2, "-mode", "map2bin"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(bin2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("bin -> map -> bin round trip changed the file")
+	}
+	if err := run([]string{"-in", rmap, "-out", txt, "-mode", "map2text"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := blktrace.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	trTxt, err := blktrace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trTxt.Device != tr.Device || trTxt.NumIOs() != tr.NumIOs() || trTxt.NumBunches() != tr.NumBunches() {
+		t.Fatalf("map2text mismatch: %s %d/%d vs %s %d/%d", trTxt.Device, trTxt.NumIOs(), trTxt.NumBunches(),
+			tr.Device, tr.NumIOs(), tr.NumBunches())
+	}
+}
+
+// TestCorruptMappedInputFails is the regression gate: a truncated .rmap
+// mapping must fail conversion with the labelled format error, not
+// panic or produce a silently wrong output file.
+func TestCorruptMappedInputFails(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSRT(t, dir)
+	bin := filepath.Join(dir, "t.replay")
+	rmap := filepath.Join(dir, "t.rmap")
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", bin}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bin, "-out", rmap, "-mode", "bin2map"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(rmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string][]byte{
+		"truncated": good[:len(good)-5],
+		"garbled":   append(append([]byte{}, good[:9]...), bytes.Repeat([]byte{0xFF}, 16)...),
+	} {
+		bad := filepath.Join(dir, name+".rmap")
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run([]string{"-in", bad, "-out", filepath.Join(dir, name+".out"), "-mode", "map2bin"}, &buf)
+		if !errors.Is(err, blktrace.ErrBadFormat) {
+			t.Errorf("%s: got %v, want ErrBadFormat", name, err)
+		}
 	}
 }
 

@@ -363,12 +363,14 @@ func run(args []string, out io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	benchout := fs.String("benchout", benchOut, "kernel experiment: JSON report path")
+	replayBenchout := fs.String("replay-benchout", replayBenchOut, "kernel experiment: sharded replay JSON report path")
 	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
 	telDir := fs.String("telemetry-dir", "", "sweep experiment: export per-load telemetry artifacts under this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	benchOut = *benchout
+	replayBenchOut = *replayBenchout
 	sweepTrace = *traceFile
 	telemetryDir = *telDir
 	if *cpuprofile != "" {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/blktrace"
 	"repro/internal/repository"
 	"repro/internal/srt"
 	"repro/internal/storage"
@@ -262,6 +263,61 @@ func TestReplayAndReportCommands(t *testing.T) {
 	}
 }
 
+// TestShardedAndMappedReplayCommands drives -replay-shards and -mmap
+// through the CLI and requires the reported numbers to match the serial
+// run exactly at every shard count and via the zero-copy trace.
+func TestShardedAndMappedReplayCommands(t *testing.T) {
+	dir := t.TempDir()
+	repoDir := filepath.Join(dir, "traces")
+	runOK(t, "gen-real", "-repo", repoDir, "-kind", "web")
+	name := repository.RealName("raid5-hdd", "web-o4")
+	repo, err := repository.Open(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := repo.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "t.replay")
+	rmap := filepath.Join(dir, "t.rmap")
+	if err := blktrace.WriteFile(bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := blktrace.WriteMappedFile(rmap, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The numeric tail after the shard annotation must be identical
+	// across executors and trace formats.
+	numbers := func(out string) string {
+		i := strings.LastIndex(out, "): ")
+		j := strings.Index(out, "\ntelemetry")
+		if i < 0 || j < 0 || j < i {
+			t.Fatalf("unexpected replay output: %s", out)
+		}
+		return out[i:j]
+	}
+	serial := runOK(t, "replay", "-in", bin, "-telemetry-dir", filepath.Join(dir, "tel-serial"))
+	for i, args := range [][]string{
+		{"replay", "-in", bin, "-replay-shards", "4", "-telemetry-dir", filepath.Join(dir, "tel-s4")},
+		{"replay", "-in", rmap, "-mmap", "-telemetry-dir", filepath.Join(dir, "tel-mmap")},
+		{"replay", "-in", rmap, "-mmap", "-replay-shards", "2", "-telemetry-dir", filepath.Join(dir, "tel-mmap-s2")},
+	} {
+		out := runOK(t, args...)
+		if numbers(out) != numbers(serial) {
+			t.Errorf("case %d: results diverged from serial:\n got %s\nwant %s", i, numbers(out), numbers(serial))
+		}
+	}
+
+	// A filtered mmap replay materializes and still works.
+	out := runOK(t, "replay", "-in", rmap, "-mmap", "-load", "50", "-replay-shards", "2",
+		"-telemetry-dir", filepath.Join(dir, "tel-mmap-load"))
+	if !strings.Contains(out, "load 50%") {
+		t.Fatalf("filtered mmap replay output: %s", out)
+	}
+}
+
 func TestReplayAndReportErrors(t *testing.T) {
 	var buf bytes.Buffer
 	cases := [][]string{
@@ -269,6 +325,8 @@ func TestReplayAndReportErrors(t *testing.T) {
 		{"replay", "-trace", "a", "-in", "b"}, // both sources
 		{"replay", "-in", "x.replay", "-load", "0"},
 		{"replay", "-in", "x.replay", "-device", "tape"},
+		{"replay", "-in", "x.replay", "-replay-shards", "0"},
+		{"replay", "-trace", "a", "-mmap"}, // mmap needs -in
 		{"report", "-dir", filepath.Join(t.TempDir(), "missing")},
 	}
 	for _, args := range cases {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blktrace"
 	"repro/internal/experiments"
+	"repro/internal/replay"
 	"repro/internal/repository"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
@@ -18,6 +19,13 @@ import (
 // gauges), and the artifact directory is exported — summary.json,
 // series.csv, events.jsonl, power_wall.csv and a Chrome trace that
 // opens in Perfetto.  `tracer report -dir DIR` renders the result.
+//
+// -replay-shards N > 1 runs the sharded executor (one event loop per
+// shard, member disks striped across shards); results are bit-identical
+// to the serial run at any shard count.  -mmap loads -in as a
+// memory-mapped ".rmap" trace (see traceconv -mode bin2map) and replays
+// it zero-copy; a load below 100% still materializes, since filtering
+// rewrites the bunch list.
 func cmdReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	dir := fs.String("repo", "traces", "trace repository directory")
@@ -27,6 +35,8 @@ func cmdReplay(args []string, out io.Writer) error {
 	load := fs.Float64("load", 100, "load percentage")
 	telemetryDir := fs.String("telemetry-dir", "telemetry", "artifact output directory")
 	cadence := fs.Duration("cadence", 1_000_000_000, "time-series sampling cadence (sim time)")
+	shards := fs.Int("replay-shards", 1, "event-loop shards for the replay (1 = serial engine)")
+	mmap := fs.Bool("mmap", false, "load -in as a memory-mapped .rmap trace (zero-copy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,24 +46,46 @@ func cmdReplay(args []string, out io.Writer) error {
 	if *load <= 0 || *load > 1000 {
 		return fmt.Errorf("replay: bad load percentage %v", *load)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("replay: bad shard count %d", *shards)
+	}
+	if *mmap && *in == "" {
+		return fmt.Errorf("replay: -mmap requires -in (repository entries are not .rmap files)")
+	}
 	kind, err := experiments.KindFromString(*device)
 	if err != nil {
 		return err
 	}
-	var tr *blktrace.Trace
-	if *in != "" {
-		tr, err = blktrace.ReadFile(*in)
-	} else {
-		var repo *repository.Repository
-		if repo, err = repository.Open(*dir); err == nil {
-			tr, err = repo.Load(*name)
+	var src replay.BunchSource
+	if *mmap {
+		m, err := blktrace.OpenMapped(*in)
+		if err != nil {
+			return err
 		}
-	}
-	if err != nil {
-		return err
+		defer m.Close()
+		src = m
+	} else {
+		var tr *blktrace.Trace
+		if *in != "" {
+			tr, err = blktrace.ReadFile(*in)
+		} else {
+			var repo *repository.Repository
+			if repo, err = repository.Open(*dir); err == nil {
+				tr, err = repo.Load(*name)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		src = tr
 	}
 	set := telemetry.New(telemetry.Options{Cadence: simtime.FromStd(*cadence)})
-	run, err := experiments.MeasureAtLoadTelemetry(experiments.DefaultConfig(), kind, tr, *load/100, set)
+	var run *experiments.TelemetryRun
+	if *shards > 1 || *mmap {
+		run, err = experiments.MeasureAtLoadTelemetrySharded(experiments.DefaultConfig(), kind, src, *load/100, set, *shards)
+	} else {
+		run, err = experiments.MeasureAtLoadTelemetry(experiments.DefaultConfig(), kind, src.(*blktrace.Trace), *load/100, set)
+	}
 	if err != nil {
 		return err
 	}
@@ -61,8 +93,8 @@ func cmdReplay(args []string, out io.Writer) error {
 		return err
 	}
 	r := run.Meas.Result
-	fmt.Fprintf(out, "replayed %d IOs at load %.0f%% on %s: %.1f IOPS, %.3f MBPS, %.1f W\n",
-		r.Completed, *load, kind, r.IOPS, r.MBPS, run.Meas.Power)
+	fmt.Fprintf(out, "replayed %d IOs at load %.0f%% on %s (%d shard(s)%s): %.1f IOPS, %.3f MBPS, %.1f W\n",
+		r.Completed, *load, kind, *shards, map[bool]string{true: ", mmap"}[*mmap], r.IOPS, r.MBPS, run.Meas.Power)
 	fmt.Fprintf(out, "telemetry written to %s (render with: tracer report -dir %s)\n",
 		*telemetryDir, *telemetryDir)
 	return nil

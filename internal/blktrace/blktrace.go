@@ -65,6 +65,20 @@ type Trace struct {
 // NumBunches reports the number of bunches.
 func (t *Trace) NumBunches() int { return len(t.Bunches) }
 
+// Label reports the device label; together with BunchTime, BunchSize
+// and Package it forms the read-only view interface (replay.BunchSource)
+// shared with the memory-mapped MappedTrace.
+func (t *Trace) Label() string { return t.Device }
+
+// BunchTime reports bunch i's arrival offset.
+func (t *Trace) BunchTime(i int) simtime.Duration { return t.Bunches[i].Time }
+
+// BunchSize reports the number of packages in bunch i.
+func (t *Trace) BunchSize(i int) int { return len(t.Bunches[i].Packages) }
+
+// Package returns package pkg of bunch i.
+func (t *Trace) Package(i, pkg int) IOPackage { return t.Bunches[i].Packages[pkg] }
+
 // NumIOs reports the total number of IO_packages.
 func (t *Trace) NumIOs() int {
 	n := 0

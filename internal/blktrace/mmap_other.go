@@ -1,0 +1,14 @@
+//go:build !unix
+
+package blktrace
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; OpenMapped falls back to a
+// buffered whole-file read.
+func mapFile(*os.File, int64) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

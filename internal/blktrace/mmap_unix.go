@@ -1,0 +1,25 @@
+//go:build unix
+
+package blktrace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only.  Empty files can't be mapped; the
+// caller falls back to the buffered path (which then reports the
+// short-header format error).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size > int64(maxInt) {
+		return nil, nil, fmt.Errorf("blktrace: cannot map %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+const maxInt = int(^uint(0) >> 1)

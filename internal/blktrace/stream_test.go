@@ -1,0 +1,183 @@
+package blktrace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// collectScan drains a scanner into a materialized trace, copying each
+// reused bunch buffer.
+func collectScan(t *testing.T, scan func(device func(string) error, fn ScanFunc) error) *Trace {
+	t.Helper()
+	tr := &Trace{}
+	err := scan(
+		func(dev string) error { tr.Device = dev; return nil },
+		func(b Bunch) error {
+			tr.Bunches = append(tr.Bunches, Bunch{Time: b.Time, Packages: append([]IOPackage(nil), b.Packages...)})
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return tr
+}
+
+// normalizeTrace maps empty bunch slices to nil so DeepEqual ignores
+// the nil-vs-empty distinction round-trips don't preserve.
+func normalizeTrace(t *Trace) *Trace {
+	if len(t.Bunches) == 0 {
+		t.Bunches = nil
+	}
+	return t
+}
+
+func TestScanBinaryMatchesRead(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	for iter := 0; iter < 20; iter++ {
+		want := randomTrace(rng, 30)
+		var buf bytes.Buffer
+		if err := Write(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		got := collectScan(t, func(dev func(string) error, fn ScanFunc) error {
+			return ScanBinary(bytes.NewReader(buf.Bytes()), dev, fn)
+		})
+		if !reflect.DeepEqual(normalizeTrace(got), normalizeTrace(want)) {
+			t.Fatalf("iter %d: scanned trace differs", iter)
+		}
+	}
+}
+
+func TestScanTextMatchesReadText(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got := collectScan(t, func(dev func(string) error, fn ScanFunc) error {
+		return ScanText(bytes.NewReader(buf.Bytes()), dev, fn)
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scanned text trace differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestScanMapped(t *testing.T) {
+	want := sampleTrace()
+	path := filepath.Join(t.TempDir(), "t.rmap")
+	if err := WriteMappedFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got := collectScan(t, func(dev func(string) error, fn ScanFunc) error {
+		return ScanMapped(m, dev, fn)
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("scanned mapped trace differs")
+	}
+}
+
+func TestScanBinaryRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", buf.Bytes()[:buf.Len()-9]},
+		{"bad-magic", append([]byte("XXXXXXXX"), buf.Bytes()[8:]...)},
+	} {
+		err := ScanBinary(bytes.NewReader(tc.data), func(string) error { return nil }, func(Bunch) error { return nil })
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: got %v, want ErrBadFormat", tc.name, err)
+		}
+	}
+}
+
+func TestScanTextRejectsCorrupt(t *testing.T) {
+	for _, tc := range []struct{ name, text string }{
+		{"truncated-bunch", "device d\nB 0 2\n1 512 R\n"},
+		{"package-outside-bunch", "device d\n1 512 R\n"},
+		{"bad-op", "device d\nB 0 1\n1 512 Q\n"},
+		{"out-of-order", "device d\nB 5 1\n1 512 R\nB 4 1\n1 512 R\n"},
+	} {
+		err := ScanText(strings.NewReader(tc.text), func(string) error { return nil }, func(Bunch) error { return nil })
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: got %v, want ErrBadFormat", tc.name, err)
+		}
+	}
+}
+
+// TestBinaryStreamWriterMatchesWrite checks the count-patching stream
+// writer emits the identical byte stream to the one-shot encoder.
+func TestBinaryStreamWriterMatchesWrite(t *testing.T) {
+	tr := sampleTrace()
+	var oneShot bytes.Buffer
+	if err := Write(&oneShot, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "s.replay")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewBinaryStreamWriter(f, tr.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Bunches {
+		if err := w.WriteBunch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, oneShot.Bytes()) {
+		t.Fatalf("streamed v1 differs from one-shot (%d vs %d bytes)", len(streamed), oneShot.Len())
+	}
+}
+
+func TestTextStreamWriterMatchesWriteText(t *testing.T) {
+	tr := sampleTrace()
+	var oneShot bytes.Buffer
+	if err := WriteText(&oneShot, tr); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	w, err := NewTextStreamWriter(&streamed, tr.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range tr.Bunches {
+		if err := w.WriteBunch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.String() != oneShot.String() {
+		t.Fatalf("streamed text differs:\n%s\nvs\n%s", streamed.String(), oneShot.String())
+	}
+}

@@ -117,6 +117,31 @@ func NewSystem(cfg Config, kind ArrayKind) (*simtime.Engine, *raid.Array, error)
 	return newSystem(cfg.normalize(), kind)
 }
 
+// NewSystemSharded provisions the same simulated array as NewSystem but
+// over one engine per shard, for replay.ReplaySharded: member disk i
+// lives on engines[i%shards].  With shards == 1 the system is identical
+// to NewSystem's (same seeds, same names, one engine).
+func NewSystemSharded(cfg Config, kind ArrayKind, shards int) ([]*simtime.Engine, *raid.Array, error) {
+	cfg = cfg.normalize()
+	if shards <= 0 {
+		shards = 1
+	}
+	engines := make([]*simtime.Engine, shards)
+	for i := range engines {
+		engines[i] = simtime.NewEngine()
+	}
+	params := raid.DefaultParams()
+	switch kind {
+	case SSDArray:
+		params.Chassis = raid.SSDChassis()
+		a, err := raid.NewSSDArrayEngines(engines, params, cfg.SSDs, disksim.MemorightSLC32())
+		return engines, a, err
+	default:
+		a, err := raid.NewHDDArrayEngines(engines, params, cfg.HDDs, disksim.Seagate7200())
+		return engines, a, err
+	}
+}
+
 // KindFromString parses "hdd"/"ssd" (or the full array labels).
 func KindFromString(s string) (ArrayKind, error) {
 	switch s {

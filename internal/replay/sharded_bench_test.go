@@ -1,0 +1,71 @@
+package replay
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/disksim"
+	"repro/internal/raid"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+// benchSystem is buildSystem without the testing.T plumbing.
+func benchSystem(nshards int) ([]*simtime.Engine, *raid.Array, error) {
+	engines := make([]*simtime.Engine, nshards)
+	for i := range engines {
+		engines[i] = simtime.NewEngine()
+	}
+	a, err := raid.NewHDDArrayEngines(engines, raid.DefaultParams(), 6, disksim.Seagate7200())
+	return engines, a, err
+}
+
+// BenchmarkShardedReplay measures the sharded executor end to end at
+// several shard counts, over both the buffered and the zero-copy
+// memory-mapped trace source.  CI's bench-smoke job executes it once
+// per commit; `tracer-bench -run kernel` records the numbers in
+// BENCH_replay.json.
+func BenchmarkShardedReplay(b *testing.B) {
+	wp := synth.DefaultWebServer()
+	wp.Duration = simtime.Second / 2
+	trace := synth.WebServerTrace(wp)
+
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.rmap")
+	if err := blktrace.WriteMappedFile(path, trace); err != nil {
+		b.Fatal(err)
+	}
+	mapped, err := blktrace.OpenMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { mapped.Close(); os.Remove(path) })
+
+	for _, src := range []struct {
+		name string
+		src  BunchSource
+	}{{"buffered", trace}, {"mmap", mapped}} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("src=%s/shards=%d", src.name, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					engines, array, err := benchSystem(shards)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := ReplaySharded(engines, array, src.src, ShardedOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Completed != int64(trace.NumIOs()) {
+						b.Fatalf("completed %d of %d IOs", res.Completed, trace.NumIOs())
+					}
+				}
+				b.ReportMetric(float64(trace.NumIOs())*float64(b.N)/b.Elapsed().Seconds(), "ios/s")
+			})
+		}
+	}
+}

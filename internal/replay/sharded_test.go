@@ -1,0 +1,261 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/disksim"
+	"repro/internal/raid"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+// buildSystem provisions a fresh array over nshards engines with the
+// exact seed/name scheme the serial constructors use, so a 1-shard
+// system is identical to a serial one.
+func buildSystem(t *testing.T, nshards, disks int, ssd bool) ([]*simtime.Engine, *raid.Array) {
+	t.Helper()
+	engines := make([]*simtime.Engine, nshards)
+	for i := range engines {
+		engines[i] = simtime.NewEngine()
+	}
+	params := raid.DefaultParams()
+	var (
+		a   *raid.Array
+		err error
+	)
+	if ssd {
+		params.Chassis = raid.SSDChassis()
+		a, err = raid.NewSSDArrayEngines(engines, params, disks, disksim.MemorightSLC32())
+	} else {
+		a, err = raid.NewHDDArrayEngines(engines, params, disks, disksim.Seagate7200())
+	}
+	if err != nil {
+		t.Fatalf("build array: %v", err)
+	}
+	return engines, a
+}
+
+// testTrace returns a small mixed read/write trace that exercises the
+// RMW join path heavily (writes dominate at the default request sizes).
+func testTrace(seed uint64) *synthTrace {
+	wp := synth.DefaultWebServer()
+	wp.Duration = simtime.Second / 2
+	wp.ReadRatio = 0.5 // force plenty of RAID-5 writes → RMW joins
+	wp.Seed = seed
+	return &synthTrace{wp: wp}
+}
+
+type synthTrace struct{ wp synth.WebServerParams }
+
+// TestShardedMatchesSerial is the seeded differential gate: the sharded
+// executor at several shard counts must reproduce the serial engine's
+// results exactly — same Result, and same per-disk fire ordering, which
+// per-disk stats pin down (each drive's RNG stream depends on its
+// arrival order, so any reordering shifts rotational latencies and
+// busy-time accounting).
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, ssd := range []bool{false, true} {
+		for _, seed := range []uint64{1, 7} {
+			trace := synth.WebServerTrace(testTrace(seed).wp)
+
+			serialEngine := simtime.NewEngine()
+			params := raid.DefaultParams()
+			var (
+				serialArray *raid.Array
+				err         error
+			)
+			disks := 6
+			if ssd {
+				disks = 4
+				params.Chassis = raid.SSDChassis()
+				serialArray, err = raid.NewSSDArray(serialEngine, params, disks, disksim.MemorightSLC32())
+			} else {
+				serialArray, err = raid.NewHDDArray(serialEngine, params, disks, disksim.Seagate7200())
+			}
+			if err != nil {
+				t.Fatalf("serial array: %v", err)
+			}
+			want, err := Replay(serialEngine, serialArray, trace, Options{})
+			if err != nil {
+				t.Fatalf("serial replay: %v", err)
+			}
+
+			for _, nshards := range []int{1, 2, 3, 8} {
+				engines, array := buildSystem(t, nshards, disks, ssd)
+				got, err := ReplaySharded(engines, array, trace, ShardedOptions{BatchBunches: 64})
+				if err != nil {
+					t.Fatalf("sharded replay (%d shards): %v", nshards, err)
+				}
+				compareResults(t, nshards, ssd, got, want)
+				if gs, ws := array.Stats(), serialArray.Stats(); gs != ws {
+					t.Errorf("shards=%d ssd=%v: array stats %+v != serial %+v", nshards, ssd, gs, ws)
+				}
+				for i := range array.Disks() {
+					if ssd {
+						gd := array.Disks()[i].(*disksim.SSD).Stats()
+						wd := serialArray.Disks()[i].(*disksim.SSD).Stats()
+						if gd != wd {
+							t.Errorf("shards=%d ssd disk %d stats diverge:\n got %+v\nwant %+v", nshards, i, gd, wd)
+						}
+					} else {
+						gd := array.Disks()[i].(*disksim.HDD).Stats()
+						wd := serialArray.Disks()[i].(*disksim.HDD).Stats()
+						if gd != wd {
+							t.Errorf("shards=%d hdd disk %d stats diverge:\n got %+v\nwant %+v", nshards, i, gd, wd)
+						}
+					}
+				}
+				for i, e := range engines {
+					if e.Pending() != 0 {
+						t.Errorf("shards=%d: shard %d left %d pending events", nshards, i, e.Pending())
+					}
+				}
+				if err := array.CheckInvariants(); err != nil {
+					t.Errorf("shards=%d: invariants: %v", nshards, err)
+				}
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, nshards int, ssd bool, got, want *Result) {
+	t.Helper()
+	tag := map[bool]string{false: "hdd", true: "ssd"}[ssd]
+	if got.Issued != want.Issued || got.Completed != want.Completed {
+		t.Errorf("shards=%d %s: issued/completed %d/%d != %d/%d",
+			nshards, tag, got.Issued, got.Completed, want.Issued, want.Completed)
+	}
+	if got.Start != want.Start || got.End != want.End {
+		t.Errorf("shards=%d %s: window [%v,%v] != [%v,%v]", nshards, tag, got.Start, got.End, want.Start, want.End)
+	}
+	if got.Bytes != want.Bytes {
+		t.Errorf("shards=%d %s: bytes %d != %d", nshards, tag, got.Bytes, want.Bytes)
+	}
+	if got.MeanResponse != want.MeanResponse || got.MaxResponse != want.MaxResponse {
+		t.Errorf("shards=%d %s: response mean/max %v/%v != %v/%v",
+			nshards, tag, got.MeanResponse, got.MaxResponse, want.MeanResponse, want.MaxResponse)
+	}
+	if got.P50Response != want.P50Response || got.P95Response != want.P95Response || got.P99Response != want.P99Response {
+		t.Errorf("shards=%d %s: percentiles %v/%v/%v != %v/%v/%v", nshards, tag,
+			got.P50Response, got.P95Response, got.P99Response,
+			want.P50Response, want.P95Response, want.P99Response)
+	}
+	if got.IOPS != want.IOPS || got.MBPS != want.MBPS {
+		t.Errorf("shards=%d %s: throughput %v/%v != %v/%v", nshards, tag, got.IOPS, got.MBPS, want.IOPS, want.MBPS)
+	}
+	if len(got.Intervals) != len(want.Intervals) {
+		t.Errorf("shards=%d %s: %d intervals != %d", nshards, tag, len(got.Intervals), len(want.Intervals))
+		return
+	}
+	for i := range got.Intervals {
+		if got.Intervals[i] != want.Intervals[i] {
+			t.Errorf("shards=%d %s: interval %d %+v != %+v", nshards, tag, i, got.Intervals[i], want.Intervals[i])
+		}
+	}
+}
+
+// TestShardedObserver checks the observer contract under sharding: every
+// issue precedes its completion, issues arrive in bunch order, and the
+// books balance.
+func TestShardedObserver(t *testing.T) {
+	trace := synth.WebServerTrace(testTrace(3).wp)
+	engines, array := buildSystem(t, 4, 6, false)
+	obs := &recordingObserver{issued: map[[2]int]simtime.Time{}}
+	res, err := ReplaySharded(engines, array, trace, ShardedOptions{Observer: obs})
+	if err != nil {
+		t.Fatalf("sharded replay: %v", err)
+	}
+	if int64(len(obs.issued)) != res.Issued {
+		t.Fatalf("observer saw %d issues, result says %d", len(obs.issued), res.Issued)
+	}
+	if obs.completed != res.Completed {
+		t.Fatalf("observer saw %d completions, result says %d", obs.completed, res.Completed)
+	}
+	if obs.err != "" {
+		t.Fatal(obs.err)
+	}
+}
+
+type recordingObserver struct {
+	issued    map[[2]int]simtime.Time
+	lastBunch int
+	completed int64
+	err       string
+}
+
+func (o *recordingObserver) ObserveIssue(bunch, pkg int, at simtime.Time) {
+	if bunch < o.lastBunch && o.err == "" {
+		o.err = "issues out of bunch order"
+	}
+	o.lastBunch = bunch
+	o.issued[[2]int{bunch, pkg}] = at
+}
+
+func (o *recordingObserver) ObserveComplete(bunch, pkg int, issued, finished simtime.Time) {
+	at, ok := o.issued[[2]int{bunch, pkg}]
+	if !ok && o.err == "" {
+		o.err = "completion before issue"
+	}
+	if (at != issued || finished < issued) && o.err == "" {
+		o.err = "causality violation"
+	}
+	o.completed++
+}
+
+// TestShardedDegraded replays against a degraded array (one failed
+// member) and requires sharded/serial equality through the
+// reconstruct-read and reconstruct-write paths.
+func TestShardedDegraded(t *testing.T) {
+	trace := synth.WebServerTrace(testTrace(11).wp)
+
+	serialEngine := simtime.NewEngine()
+	serialArray, err := raid.NewHDDArray(serialEngine, raid.DefaultParams(), 6, disksim.Seagate7200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serialArray.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Replay(serialEngine, serialArray, trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nshards := range []int{2, 8} {
+		engines, array := buildSystem(t, nshards, 6, false)
+		if err := array.FailDisk(2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReplaySharded(engines, array, trace, ShardedOptions{})
+		if err != nil {
+			t.Fatalf("sharded degraded replay: %v", err)
+		}
+		compareResults(t, nshards, false, got, want)
+		if gs, ws := array.Stats(), serialArray.Stats(); gs != ws {
+			t.Errorf("shards=%d: degraded array stats %+v != %+v", nshards, gs, ws)
+		}
+	}
+}
+
+// TestShardedEmptyTrace covers the degenerate input.
+func TestShardedEmptyTrace(t *testing.T) {
+	engines, array := buildSystem(t, 2, 6, false)
+	res, err := ReplaySharded(engines, array, &synthEmpty{}, ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 0 || res.Completed != 0 {
+		t.Fatalf("empty trace replayed %d/%d IOs", res.Issued, res.Completed)
+	}
+}
+
+type synthEmpty struct{}
+
+func (synthEmpty) Label() string                       { return "empty" }
+func (synthEmpty) NumBunches() int                     { return 0 }
+func (synthEmpty) NumIOs() int                         { return 0 }
+func (synthEmpty) Duration() simtime.Duration          { return 0 }
+func (synthEmpty) BunchTime(int) simtime.Duration      { return 0 }
+func (synthEmpty) BunchSize(int) int                   { return 0 }
+func (synthEmpty) Package(int, int) blktrace.IOPackage { return blktrace.IOPackage{} }
