@@ -193,6 +193,7 @@ type replayReport struct {
 // counts over the buffered and memory-mapped trace sources and writes
 // BENCH_replay.json.
 func benchShardedReplay(cfg experiments.Config, w io.Writer) error {
+	warnSingleCPU(w)
 	wp := synth.DefaultWebServer()
 	wp.Duration = 2 * simtime.Second
 	trace := synth.WebServerTrace(wp)

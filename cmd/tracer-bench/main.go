@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload]
+//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload|fleet]
 //	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay] [-telemetry-dir DIR]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
@@ -198,6 +198,7 @@ var table = []experiment{
 	{"sweep", runSweep},
 	{"kernel", benchKernel},
 	{"workload", benchWorkload},
+	{"fleet", benchFleet},
 }
 
 // benchWorkload exercises the characterization pipeline: wall-clock
@@ -364,6 +365,7 @@ func run(args []string, out io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	benchout := fs.String("benchout", benchOut, "kernel experiment: JSON report path")
 	replayBenchout := fs.String("replay-benchout", replayBenchOut, "kernel experiment: sharded replay JSON report path")
+	fleetBenchout := fs.String("fleet-benchout", fleetBenchOut, "fleet experiment: JSON report path")
 	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
 	telDir := fs.String("telemetry-dir", "", "sweep experiment: export per-load telemetry artifacts under this directory")
 	if err := fs.Parse(args); err != nil {
@@ -371,6 +373,7 @@ func run(args []string, out io.Writer) error {
 	}
 	benchOut = *benchout
 	replayBenchOut = *replayBenchout
+	fleetBenchOut = *fleetBenchout
 	sweepTrace = *traceFile
 	telemetryDir = *telDir
 	if *cpuprofile != "" {
@@ -420,10 +423,10 @@ func run(args []string, out io.Writer) error {
 		if !all && !want[e.name] {
 			continue
 		}
-		// "sweep" is heavyweight; "kernel" and "workload" print
-		// wall-clock measurements (nondeterministic output): only on
-		// explicit request.
-		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload") {
+		// "sweep" is heavyweight; "kernel", "workload" and "fleet"
+		// print wall-clock measurements (nondeterministic output): only
+		// on explicit request.
+		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload" || e.name == "fleet") {
 			continue
 		}
 		start := time.Now()

@@ -18,7 +18,7 @@ func TestListExperiments(t *testing.T) {
 	if err := run([]string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tableIII", "tableIV", "tableV", "ssd", "ablations", "conserve", "thermal", "degraded", "scheduler", "eraid", "sweep", "kernel"} {
+	for _, want := range []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tableIII", "tableIV", "tableV", "ssd", "ablations", "conserve", "thermal", "degraded", "scheduler", "eraid", "sweep", "kernel", "fleet"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -178,5 +178,17 @@ func TestSweepTelemetryDirExportsPerLoad(t *testing.T) {
 	}
 	if strings.Count(buf.String(), "telemetry: ") != 4 {
 		t.Fatalf("telemetry lines: %s", buf.String())
+	}
+}
+
+// TestFleetExcludedFromAll: like kernel, the fleet benchmark prints
+// wall-clock measurements and only runs on explicit request.
+func TestFleetExcludedFromAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig8", "-duration", "1s"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "=== fleet ===") {
+		t.Fatal("fleet benchmark ran without explicit -run fleet")
 	}
 }

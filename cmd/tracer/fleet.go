@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/repository"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// cmdFleet simulates a fleet of independent arrays behind a front-end
+// router: a synthesized (or replayed) client stream is admitted through
+// an optional token bucket, placed onto arrays by the chosen policy,
+// and each array advances on its own event loop under the shared-clock
+// coordinator.  Results are byte-identical at any -workers count.
+func cmdFleet(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	arrays := fs.Int("arrays", 16, "number of arrays in the fleet")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	policyName := fs.String("policy", "round-robin", "placement policy: round-robin, least-loaded, weighted or affinity")
+	device := fs.String("device", "hdd", "array kind: hdd or ssd")
+	duration := fs.Duration("duration", 1_000_000_000, "synthetic stream duration (sim time)")
+	iops := fs.Float64("iops", 0, "offered fleet-wide IOPS (0 = 64 per array)")
+	size := fs.Int64("size", 16<<10, "request size in bytes")
+	read := fs.Float64("read", 0.6, "read ratio [0,1]")
+	clients := fs.Int("clients", 1024, "distinct client IDs in the synthetic stream")
+	window := fs.Duration("window", 10_000_000, "router decision window (sim time)")
+	admitRate := fs.Float64("admit-rate", 0, "token-bucket admission rate in IOPS (0 = no admission control)")
+	admitBurst := fs.Float64("admit-burst", 0, "token-bucket burst (0 = one second at -admit-rate)")
+	powerCap := fs.Float64("power-cap", 0, "fleet power cap in watts for headroom reporting (0 = none)")
+	seed := fs.Uint64("seed", 1, "fleet seed (streams and arrays derive from it)")
+	dir := fs.String("repo", "traces", "trace repository directory (with -trace)")
+	name := fs.String("trace", "", "replay this repository trace instead of synthesizing a stream")
+	telemetryDir := fs.String("telemetry-dir", "", "write telemetry artifacts here (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *arrays < 1 {
+		return fmt.Errorf("fleet: bad array count %d", *arrays)
+	}
+	kind, err := experiments.KindFromString(*device)
+	if err != nil {
+		return err
+	}
+	pol, err := fleet.PolicyFromString(*policyName)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	f, err := fleet.New(cfg, kind, *arrays, *workers)
+	if err != nil {
+		return err
+	}
+
+	var stream fleet.Stream
+	if *name != "" {
+		repo, err := repository.Open(*dir)
+		if err != nil {
+			return err
+		}
+		tr, err := repo.Load(*name)
+		if err != nil {
+			return err
+		}
+		stream = fleet.NewTraceStream(tr)
+	} else {
+		rate := *iops
+		if rate <= 0 {
+			rate = 64 * float64(*arrays)
+		}
+		stream = fleet.NewSynthStream(fleet.SynthParams{
+			Duration:   simtime.FromStd(*duration),
+			MeanIOPS:   rate,
+			Clients:    *clients,
+			Size:       *size,
+			ReadRatio:  *read,
+			WorkingSet: cfg.WorkingSet,
+			Seed:       *seed,
+		})
+	}
+
+	var set *telemetry.Set
+	if *telemetryDir != "" {
+		set = telemetry.New(telemetry.Options{})
+	}
+	var bucket *fleet.TokenBucket
+	if *admitRate > 0 {
+		bucket = fleet.NewTokenBucket(*admitRate, *admitBurst)
+	}
+	res, err := f.Run(stream, fleet.Options{
+		Policy:    pol,
+		Admission: bucket,
+		Window:    simtime.FromStd(*window),
+		Telemetry: set,
+		PowerCapW: *powerCap,
+	})
+	if err != nil {
+		return err
+	}
+	if set != nil {
+		if err := set.WriteDir(*telemetryDir); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "fleet: %d %s arrays, %d workers, policy %s, %d windows\n",
+		res.Arrays, kind, res.Workers, res.Policy, res.Windows)
+	fmt.Fprintf(out, "offered %d, admitted %d, rejected %d (%.2f%%), completed %d\n",
+		res.Offered, res.Admitted, res.Rejected, res.RejectRate*100, res.Completed)
+	fmt.Fprintf(out, "throughput: %.1f IOPS, %.3f MBPS\n", res.IOPS, res.MBPS)
+	fmt.Fprintf(out, "response ms: mean %.2f, p50 %.2f, p99 %.2f, p999 %.2f, max %.2f\n",
+		res.MeanResponse.Seconds()*1000, res.P50Response.Seconds()*1000,
+		res.P99Response.Seconds()*1000, res.P999Response.Seconds()*1000,
+		res.MaxResponse.Seconds()*1000)
+	fmt.Fprintf(out, "power: %.1f W mean, %.1f J, %.3f IOPS/W, %.2f MBPS/kW\n",
+		res.MeanWatts, res.EnergyJ, res.IOPSPerWatt, res.MBPSPerKW)
+	if res.PowerCapW > 0 {
+		fmt.Fprintf(out, "power cap %.1f W: headroom %.1f W\n", res.PowerCapW, res.HeadroomW)
+	}
+	if set != nil {
+		fmt.Fprintf(out, "telemetry written to %s (render with: tracer report -dir %s)\n",
+			*telemetryDir, *telemetryDir)
+	}
+	return nil
+}

@@ -19,6 +19,7 @@
 //	tracer remap     -repo DIR -trace NAME -from-bytes N -to-bytes N
 //	tracer dump      -repo DIR -trace NAME [-n 10]
 //	tracer replay    -repo DIR -trace NAME | -in FILE [-device hdd|ssd] [-load PCT] [-telemetry-dir DIR] [-cadence D]
+//	tracer fleet     -arrays N [-workers W] [-policy P] [-device hdd|ssd] [-duration D] [-iops F] [-admit-rate F] [-power-cap W] [-telemetry-dir DIR]
 //	tracer report    [-dir DIR]
 //	tracer verify    [-golden DIR] [-update] [-tol F] [-telemetry-dir DIR] [-fidelity [-seed N]]
 package main
@@ -85,6 +86,8 @@ func run(args []string, out io.Writer) error {
 		return cmdDump(args[1:], out)
 	case "replay":
 		return cmdReplay(args[1:], out)
+	case "fleet":
+		return cmdFleet(args[1:], out)
 	case "report":
 		return cmdReport(args[1:], out)
 	case "verify":
@@ -100,7 +103,7 @@ func run(args []string, out io.Writer) error {
 
 func usage(out io.Writer) {
 	fmt.Fprintln(out, `tracer — load-controllable energy-efficiency evaluation for storage systems
-subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, report, verify`)
+subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, fleet, report, verify`)
 }
 
 // cmdCollect builds peak synthetic traces into a repository.

@@ -393,3 +393,62 @@ func TestVerifyFidelityCommand(t *testing.T) {
 		t.Fatal("-fidelity -update accepted")
 	}
 }
+
+// TestFleetCommand: the fleet subcommand runs end to end and its
+// telemetry summary is byte-identical across worker counts.
+func TestFleetCommand(t *testing.T) {
+	dir := t.TempDir()
+	var summaries [][]byte
+	for i, workers := range []string{"1", "2"} {
+		telDir := filepath.Join(dir, "tel"+workers)
+		out := runOK(t, "fleet", "-arrays", "6", "-workers", workers,
+			"-policy", "least-loaded", "-duration", "200ms", "-iops", "500",
+			"-admit-rate", "400", "-power-cap", "3000", "-telemetry-dir", telDir)
+		for _, want := range []string{"6 raid5-hdd arrays", "policy least-loaded", "rejected", "IOPS/W", "power cap 3000.0 W", "telemetry written"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("fleet output missing %q:\n%s", want, out)
+			}
+		}
+		raw, err := os.ReadFile(filepath.Join(telDir, "summary.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries = append(summaries, raw)
+		if i > 0 && !bytes.Equal(summaries[0], raw) {
+			t.Fatalf("summary.json diverges between 1 and %s workers", workers)
+		}
+		rep := runOK(t, "report", "-dir", telDir)
+		if !strings.Contains(rep, "fleet.offered") {
+			t.Fatalf("report output:\n%s", rep)
+		}
+	}
+}
+
+// TestFleetCommandTraceStream: -trace replays a repository entry
+// through the fleet router.
+func TestFleetCommandTraceStream(t *testing.T) {
+	repoDir := filepath.Join(t.TempDir(), "traces")
+	runOK(t, "gen-real", "-repo", repoDir, "-kind", "web")
+	out := runOK(t, "repo", "-repo", repoDir)
+	traceName := strings.Fields(out)[0]
+	out = runOK(t, "fleet", "-arrays", "3", "-workers", "2", "-policy", "affinity",
+		"-repo", repoDir, "-trace", traceName)
+	if !strings.Contains(out, "3 raid5-hdd arrays") || !strings.Contains(out, "rejected 0") {
+		t.Fatalf("fleet trace output:\n%s", out)
+	}
+}
+
+// TestFleetCommandErrors: flag validation.
+func TestFleetCommandErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"fleet", "-arrays", "0"},
+		{"fleet", "-policy", "nope"},
+		{"fleet", "-device", "tape"},
+		{"fleet", "-trace", "missing.replay", "-repo", t.TempDir()},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFleetDeterminismGate: the canonical 64-array fleet produces a
+// byte-identical telemetry summary at 1, 2, and 8 workers.
+func TestFleetDeterminismGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet gate is heavy; skipped in -short")
+	}
+	var baseSummary []byte
+	var baseCompleted int64
+	for _, workers := range []int{1, 2, 8} {
+		res, summary, err := FleetChecked(64, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Workers != workers {
+			t.Fatalf("result workers %d, want %d", res.Workers, workers)
+		}
+		if baseSummary == nil {
+			baseSummary, baseCompleted = summary, res.Completed
+			if res.Completed == 0 {
+				t.Fatal("canonical fleet completed nothing")
+			}
+			continue
+		}
+		if res.Completed != baseCompleted {
+			t.Fatalf("workers=%d completed %d, want %d", workers, res.Completed, baseCompleted)
+		}
+		if !bytes.Equal(summary, baseSummary) {
+			t.Fatalf("workers=%d summary.json diverges from 1-worker run:\n%s\nvs\n%s",
+				workers, summary, baseSummary)
+		}
+	}
+}

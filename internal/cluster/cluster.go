@@ -66,17 +66,18 @@ type GeneratorAgent struct {
 	wg     sync.WaitGroup
 	logger *log.Logger
 
-	tel   *telemetry.Set
-	telMu sync.Mutex
+	tel *telemetry.Set
 }
 
 // AttachTelemetry makes every subsequent test run instrumented into
-// set: replay and array probes, per-engine kernel gauges, and run
-// spans, accumulated across tests for the daemon's lifetime (the
-// registry snapshot is what tracerd's debug endpoint exposes).
-// Instrumented tests serialize on an internal mutex — the shared
-// registry and tracer are not synchronized for concurrent replays.
-// Call before Listen.  A nil set disables instrumentation.
+// set: replay and array probes, per-engine kernel gauges, run spans
+// and windowed samples, accumulated across tests for the daemon's
+// lifetime (the registry snapshot is what tracerd's debug endpoint
+// exposes).  Each run records into a private telemetry.Set that is
+// folded into set when the run finishes (telemetry.Set.Merge), so
+// concurrent instrumented replays never share hot-path state and do
+// not serialize.  Call before Listen.  A nil set disables
+// instrumentation.
 func (g *GeneratorAgent) AttachTelemetry(set *telemetry.Set) { g.tel = set }
 
 // NewGeneratorAgent creates a generator serving traces from repo and
@@ -185,25 +186,34 @@ func (g *GeneratorAgent) runTest(conn *netproto.Conn, seq uint64, st netproto.St
 		cycle = simtime.Second
 	}
 	opts := replay.Options{SamplingCycle: cycle}
+	finishTelemetry := func() {}
 	if g.tel != nil {
-		g.telMu.Lock()
-		defer g.telMu.Unlock()
+		// Each run records into a private Set on its own engine —
+		// counters, histograms, spans and windowed samples — and folds
+		// it into the daemon set once the replay is done.  Concurrent
+		// instrumented tests therefore share nothing on the replay hot
+		// path; only the post-run Merge synchronizes.
+		run := telemetry.New(telemetry.Options{Cadence: g.tel.Cadence()})
 		if at, ok := sut.Device.(interface{ AttachTelemetry(*telemetry.Set) }); ok {
-			at.AttachTelemetry(g.tel)
+			at.AttachTelemetry(run)
 		}
-		telemetry.WireEngine(g.tel, sut.Engine)
-		opts.Telemetry = telemetry.NewReplayProbe(g.tel)
-		// Windowed sampling binds to the first test's engine (later
-		// StartSampling calls no-op); counters, histograms and spans
-		// keep accumulating across every test.
-		horizon := sut.Engine.Now().Add(trace.Duration() + 2*g.tel.Cadence())
-		g.tel.StartSampling(sut.Engine, horizon)
-		defer func() { g.tel.Flush(sut.Engine.Now()) }()
+		telemetry.WireEngine(run, sut.Engine)
+		opts.Telemetry = telemetry.NewReplayProbe(run)
+		horizon := sut.Engine.Now().Add(trace.Duration() + 2*run.Cadence())
+		run.StartSampling(sut.Engine, horizon)
+		finishTelemetry = func() {
+			run.Flush(sut.Engine.Now())
+			g.tel.Merge(run)
+		}
 	}
 	res, err := replay.ReplayFiltered(sut.Engine, sut.Device, trace, f, opts)
 	if err != nil {
 		return err
 	}
+	// Fold the run's telemetry in before the result frame goes out, so
+	// a host that reads the daemon set after a synchronous test sees
+	// this run included.
+	finishTelemetry()
 
 	// Stream per-interval progress, as the GUI renders in real time.
 	for _, iv := range res.Intervals {

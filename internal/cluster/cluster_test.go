@@ -307,6 +307,63 @@ func TestGeneratorTelemetryAccumulates(t *testing.T) {
 	}
 }
 
+// TestGeneratorTelemetryConcurrentRuns drives instrumented tests from
+// several hosts at once: each run records into its own private Set and
+// only the post-run Merge synchronizes, so nothing serializes on the
+// replay path and the daemon set still accumulates every run (the
+// -race CI pass holds the merge path to that).
+func TestGeneratorTelemetryConcurrentRuns(t *testing.T) {
+	repo, mode, traceName := buildRepo(t)
+	set := telemetry.New(telemetry.Options{})
+
+	gen := NewGeneratorAgent(repo, hddFactory, "", "ch0", nil)
+	gen.AttachTelemetry(set)
+	gAddr, err := gen.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen.Close()
+
+	const hosts = 4
+	totals := make(chan int64, hosts)
+	errs := make(chan error, hosts)
+	for i := 0; i < hosts; i++ {
+		go func() {
+			h, err := Dial(gAddr.String(), "", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			out, err := h.RunTest(netproto.StartTest{TraceName: traceName, LoadProportion: 0.5},
+				"raid5-hdd", host.ModeVector{RequestBytes: mode.RequestBytes, LoadProportion: 0.5})
+			if err != nil {
+				errs <- err
+				return
+			}
+			totals <- out.Result.IOs
+		}()
+	}
+	var total int64
+	for i := 0; i < hosts; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case n := <-totals:
+			total += n
+		}
+	}
+	if got := set.Registry().Counter("replay.completed").Value(); got != total {
+		t.Fatalf("replay.completed = %d, want %d accumulated over %d concurrent tests", got, total, hosts)
+	}
+	if len(set.Windows()) == 0 {
+		t.Fatal("no sampling windows merged")
+	}
+	if len(set.Tracer().Spans()) == 0 {
+		t.Fatal("no spans merged")
+	}
+}
+
 // Sanity: a meter pointed at a constant source reports that constant
 // through the whole distributed pipeline.
 func TestPowerPipelineFidelity(t *testing.T) {

@@ -1,0 +1,61 @@
+package fleet
+
+import "repro/internal/simtime"
+
+// TokenBucket paces fleet admission on the virtual clock: the bucket
+// refills at Rate tokens per simulated second up to Burst, and each
+// admitted request spends one token.  A request arriving at an empty
+// bucket is rejected (no queueing at the front end — the fleet models
+// load shedding, not backpressure).  The bucket lives on the
+// coordinator, so its decisions are a pure function of the arrival
+// sequence and never depend on worker scheduling.
+//
+// A nil *TokenBucket admits everything.
+type TokenBucket struct {
+	// Rate is the sustained admission rate in requests per simulated
+	// second.
+	Rate float64
+	// Burst is the bucket capacity; also the initial fill.
+	Burst float64
+
+	tokens float64
+	last   simtime.Time
+	primed bool
+}
+
+// NewTokenBucket returns a bucket that starts full.  A non-positive
+// burst defaults to one second's worth of rate (minimum 1).
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{Rate: rate, Burst: burst}
+}
+
+// Admit reports whether a request arriving at `at` is admitted,
+// consuming one token if so.  Calls must have nondecreasing `at`.
+func (b *TokenBucket) Admit(at simtime.Time) bool {
+	if b == nil {
+		return true
+	}
+	if !b.primed {
+		b.tokens = b.Burst
+		b.last = at
+		b.primed = true
+	}
+	if at > b.last {
+		b.tokens += at.Sub(b.last).Seconds() * b.Rate
+		if b.tokens > b.Burst {
+			b.tokens = b.Burst
+		}
+		b.last = at
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+func testStream() *SynthStream {
+	return NewSynthStream(SynthParams{
+		Duration:   300 * simtime.Millisecond,
+		MeanIOPS:   400,
+		Clients:    64,
+		Size:       16 << 10,
+		ReadRatio:  0.6,
+		WorkingSet: 1 << 30,
+		Seed:       7,
+	})
+}
+
+func testFleet(t *testing.T, arrays, workers int) *Fleet {
+	t.Helper()
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = 5
+	f, err := New(cfg, experiments.HDDArray, arrays, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFleetConservation: every offered IO is admitted or rejected,
+// every admitted IO completes, and the engines drain fully.
+func TestFleetConservation(t *testing.T) {
+	f := testFleet(t, 8, 3)
+	res, err := f.Run(testStream(), Options{Policy: NewLeastLoaded()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("stream offered nothing")
+	}
+	if res.Offered != res.Admitted+res.Rejected {
+		t.Fatalf("offered %d != admitted %d + rejected %d", res.Offered, res.Admitted, res.Rejected)
+	}
+	if res.Admitted != res.Completed {
+		t.Fatalf("admitted %d != completed %d", res.Admitted, res.Completed)
+	}
+	var perArray int64
+	for _, a := range res.PerArray {
+		perArray += a.Completed
+	}
+	if perArray != res.Completed {
+		t.Fatalf("per-array completions %d != total %d", perArray, res.Completed)
+	}
+	for i, e := range f.Engines() {
+		if e.Pending() != 0 {
+			t.Fatalf("array %d: %d events pending after run", i, e.Pending())
+		}
+		if e.Now() != res.End {
+			t.Fatalf("array %d clock %v != end %v", i, e.Now(), res.End)
+		}
+	}
+	for i, a := range f.Arrays() {
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("array %d: %v", i, err)
+		}
+	}
+	if res.MeanWatts <= 0 || res.EnergyJ <= 0 {
+		t.Fatalf("power accounting empty: %v W, %v J", res.MeanWatts, res.EnergyJ)
+	}
+	if res.P50Response <= 0 || res.P99Response < res.P50Response || res.P999Response < res.P99Response {
+		t.Fatalf("tail latency disordered: p50=%v p99=%v p999=%v", res.P50Response, res.P99Response, res.P999Response)
+	}
+}
+
+// TestFleetWorkerCountInvariance: the entire Result — counts, tails,
+// power, per-array rows — is identical at any worker count.
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	var base *Result
+	for _, workers := range []int{1, 2, 5} {
+		f := testFleet(t, 10, workers)
+		res, err := f.Run(testStream(), Options{
+			Policy:    NewLeastLoaded(),
+			Admission: NewTokenBucket(300, 20),
+			PowerCapW: 4000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rejected == 0 {
+			t.Fatal("token bucket at 300/s against 400 offered IOPS should reject")
+		}
+		res.Workers = 0 // the only field allowed to differ
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("results diverge across worker counts:\n%+v\nvs\n%+v", base, res)
+		}
+	}
+}
+
+// TestFleetPolicySpread: round-robin and affinity both spread a
+// multi-client stream across arrays.
+func TestFleetPolicySpread(t *testing.T) {
+	for _, name := range []string{"round-robin", "affinity", "weighted"} {
+		pol, err := PolicyFromString(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := testFleet(t, 6, 2)
+		res, err := f.Run(testStream(), Options{Policy: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		busy := 0
+		for _, a := range res.PerArray {
+			if a.Admitted > 0 {
+				busy++
+			}
+		}
+		if busy < 2 {
+			t.Fatalf("%s: only %d of %d arrays saw traffic", name, busy, f.Size())
+		}
+		if res.Policy != name {
+			t.Fatalf("result policy %q, want %q", res.Policy, name)
+		}
+	}
+}
+
+// TestFleetTelemetryLayout: the parent set carries the fleet counters
+// with coordinator columns first, worker registries fold in without
+// adding columns, and the response histogram count matches completions.
+func TestFleetTelemetryLayout(t *testing.T) {
+	f := testFleet(t, 4, 2)
+	set := telemetry.New(telemetry.Options{})
+	res, err := f.Run(testStream(), Options{Telemetry: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := set.Registry()
+	if got := reg.Counter("fleet.offered").Value(); got != res.Offered {
+		t.Fatalf("fleet.offered %d != %d", got, res.Offered)
+	}
+	if got := reg.Counter("fleet.completed").Value(); got != res.Completed {
+		t.Fatalf("fleet.completed %d != %d", got, res.Completed)
+	}
+	if got := reg.Counter("fleet.bytes").Value(); got != res.Bytes {
+		t.Fatalf("fleet.bytes %d != %d", got, res.Bytes)
+	}
+	if got := reg.HistogramSnapshot("fleet.response_ns").Count; got != res.Completed {
+		t.Fatalf("histogram count %d != completed %d", got, res.Completed)
+	}
+	if mark := reg.Watermark("fleet.inflight_max").Value(); mark <= 0 {
+		t.Fatalf("inflight watermark %d", mark)
+	}
+	want := []string{"fleet.offered", "fleet.admitted", "fleet.rejected", "fleet.completed", "fleet.bytes", "fleet.inflight_max"}
+	cols := reg.Columns()
+	if len(cols) != len(want) {
+		t.Fatalf("got %d columns %v, want %v", len(cols), cols, want)
+	}
+	for i, w := range want {
+		if cols[i].Name != w {
+			t.Fatalf("column %d is %s, want %s", i, cols[i].Name, w)
+		}
+	}
+}
+
+// TestFleetTraceStream: a replayed capture routes through the fleet
+// and completes fully.
+func TestFleetTraceStream(t *testing.T) {
+	wp := synth.DefaultWebServer()
+	wp.Duration = 200 * simtime.Millisecond
+	trace := synth.WebServerTrace(wp)
+	f := testFleet(t, 4, 2)
+	res, err := f.Run(NewTraceStream(trace), Options{Policy: NewAffinity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Offered) != trace.NumIOs() {
+		t.Fatalf("offered %d != trace IOs %d", res.Offered, trace.NumIOs())
+	}
+	if res.Completed != res.Admitted {
+		t.Fatalf("admitted %d != completed %d", res.Admitted, res.Completed)
+	}
+}
+
+// TestFleetMemberSeedIndependence: member 0 matches NewSystem exactly;
+// later members draw distinct variate sequences.
+func TestFleetMemberSeedIndependence(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	e0, a0, err := experiments.NewFleetMember(cfg, experiments.HDDArray, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, as, err := experiments.NewSystem(cfg, experiments.HDDArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, a1, err := experiments.NewFleetMember(cfg, experiments.HDDArray, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := storage.Request{Op: storage.Read, Offset: 1 << 20, Size: 64 << 10}
+	run := func(e *simtime.Engine, a interface {
+		Submit(storage.Request, func(simtime.Time))
+	}) simtime.Time {
+		var done simtime.Time
+		a.Submit(req, func(at simtime.Time) { done = at })
+		e.Run()
+		return done
+	}
+	t0 := run(e0, a0)
+	ts := run(es, as)
+	if t0 != ts {
+		t.Fatalf("member 0 diverges from NewSystem: %v vs %v", t0, ts)
+	}
+	// Member 1 has independently seeded rotational latencies; identical
+	// completion times would mean the seed stride is not applied.
+	t1 := run(e1, a1)
+	if t1 == t0 {
+		t.Fatalf("member 1 completion time equals member 0 (%v): seed stride not applied?", t1)
+	}
+}

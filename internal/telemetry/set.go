@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 
 	"repro/internal/powersim"
 	"repro/internal/simtime"
@@ -34,6 +35,11 @@ type Set struct {
 	tr      *Tracer
 	smp     *sampler
 	power   []*PowerChannel
+
+	// mergeMu serializes Merge calls on this set, so concurrent runs
+	// can each record into a private Set and fold in as they finish.
+	mergeMu sync.Mutex
+	windows []Window
 }
 
 // New returns an empty Set.
@@ -82,14 +88,15 @@ type Window struct {
 
 // sampler snapshots the registry every cadence of sim time, Ticker
 // style: one pending event at a time, re-armed from OnEvent until the
-// horizon.
+// horizon.  Closed windows land on the owning Set, where Merge can
+// also append windows from other sets.
 type sampler struct {
+	set     *Set
 	reg     *Registry
 	cadence simtime.Duration
 	until   simtime.Time
 	prev    []float64
 	prevT   simtime.Time
-	windows []Window
 }
 
 // StartSampling schedules the windowed sampler on e until the horizon.
@@ -101,6 +108,7 @@ func (s *Set) StartSampling(e *simtime.Engine, until simtime.Time) {
 		return
 	}
 	s.smp = &sampler{
+		set:     s,
 		reg:     s.reg,
 		cadence: s.cadence,
 		until:   until,
@@ -149,17 +157,41 @@ func (p *sampler) flush(now simtime.Time) {
 			vals[i] = raw[i]
 		}
 	}
-	p.windows = append(p.windows, Window{Start: p.prevT, End: now, Values: vals})
+	p.set.windows = append(p.set.windows, Window{Start: p.prevT, End: now, Values: vals})
 	p.prev = raw
 	p.prevT = now
 }
 
-// Windows returns the sampled rows so far.
+// Windows returns the sampled rows so far: windows this set's own
+// sampler closed, followed by any windows appended by Merge.
 func (s *Set) Windows() []Window {
-	if s == nil || s.smp == nil {
+	if s == nil {
 		return nil
 	}
-	return s.smp.windows
+	return s.windows
+}
+
+// Merge folds another set's recorded state into s: registry columns via
+// Registry.Merge (counters and gauges add, watermarks take the max,
+// histograms add bucket-wise), spans appended in other's emission order
+// (overflow beyond s's span cap counts as dropped), and sampled windows
+// appended after s's own.  Power channels are not transferred — they
+// are bound to other's engine.
+//
+// Concurrent Merge calls into the same destination are serialized
+// internally, so parallel runs can each record into a private Set and
+// fold in as they finish; quiesce those runs before reading spans,
+// windows, or WriteDir on s.  No-op when either set is nil or both are
+// the same set.
+func (s *Set) Merge(other *Set) {
+	if s == nil || other == nil || s == other {
+		return
+	}
+	s.reg.Merge(other.reg)
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	s.tr.absorb(other.tr)
+	s.windows = append(s.windows, other.Windows()...)
 }
 
 // PowerChannel is one metered power rail sampled online through

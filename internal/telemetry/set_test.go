@@ -79,6 +79,58 @@ func TestTracerCapAndDropCount(t *testing.T) {
 	}
 }
 
+// TestSetMerge folds one run's Set into an accumulator: registry
+// values add, spans append in order under the destination cap, and
+// sampled windows land after the destination's own.
+func TestSetMerge(t *testing.T) {
+	dst := New(Options{MaxSpans: 3})
+	dst.Registry().Counter("ios").Add(2)
+	dst.Tracer().Emit(Span{Name: "a"})
+	dst.windows = append(dst.windows, Window{End: 1})
+
+	run := New(Options{})
+	run.Registry().Counter("ios").Add(5)
+	run.Registry().Watermark("depth").Update(7)
+	run.Registry().Histogram("lat", []int64{100, 1000}).Observe(50)
+	run.Tracer().Emit(Span{Name: "b"})
+	run.Tracer().Emit(Span{Name: "c"})
+	run.Tracer().Emit(Span{Name: "d"}) // overflows dst's cap of 3
+	e := simtime.NewEngine()
+	c := run.Registry().Counter("ticks")
+	e.ScheduleEvent(simtime.Time(500*simtime.Millisecond), bump{c}, simtime.EventArg{})
+	run.StartSampling(e, simtime.Time(2*simtime.Second))
+	e.Run()
+
+	dst.Merge(run)
+	if got := dst.Registry().Counter("ios").Value(); got != 7 {
+		t.Fatalf("ios = %d, want 7", got)
+	}
+	if got := dst.Registry().Watermark("depth").Value(); got != 7 {
+		t.Fatalf("depth = %d, want 7", got)
+	}
+	if got := dst.Registry().HistogramSnapshot("lat").Count; got != 1 {
+		t.Fatalf("lat count = %d, want 1", got)
+	}
+	spans := dst.Tracer().Spans()
+	if len(spans) != 3 || spans[0].Name != "a" || spans[1].Name != "b" || spans[2].Name != "c" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if got := dst.Tracer().Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1 (span beyond dst cap)", got)
+	}
+	if wins := dst.Windows(); len(wins) != 1+len(run.Windows()) || wins[0].End != 1 {
+		t.Fatalf("windows = %+v", wins)
+	}
+	// Self-merge and nil merges are no-ops.
+	before := dst.Registry().Counter("ios").Value()
+	dst.Merge(dst)
+	dst.Merge(nil)
+	(*Set)(nil).Merge(run)
+	if got := dst.Registry().Counter("ios").Value(); got != before {
+		t.Fatalf("self/nil merge changed state: %d -> %d", before, got)
+	}
+}
+
 func TestWriteDirArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	e := simtime.NewEngine()

@@ -86,6 +86,23 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
+// absorb appends other's spans in emission order, honouring t's cap:
+// spans beyond it count as dropped, as do any other already dropped.
+func (t *Tracer) absorb(other *Tracer) {
+	if t == nil || other == nil {
+		return
+	}
+	room := t.max - len(t.spans)
+	if room < 0 {
+		room = 0
+	}
+	if room > len(other.spans) {
+		room = len(other.spans)
+	}
+	t.spans = append(t.spans, other.spans[:room]...)
+	t.dropped += int64(len(other.spans)-room) + other.dropped
+}
+
 // WriteJSONL writes one JSON object per span — the grep-able event
 // trace.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
