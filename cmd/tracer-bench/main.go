@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload|fleet]
+//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload|fleet|optimize]
 //	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay] [-telemetry-dir DIR]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
@@ -199,6 +199,7 @@ var table = []experiment{
 	{"kernel", benchKernel},
 	{"workload", benchWorkload},
 	{"fleet", benchFleet},
+	{"optimize", benchOptimize},
 }
 
 // benchWorkload exercises the characterization pipeline: wall-clock
@@ -366,6 +367,7 @@ func run(args []string, out io.Writer) error {
 	benchout := fs.String("benchout", benchOut, "kernel experiment: JSON report path")
 	replayBenchout := fs.String("replay-benchout", replayBenchOut, "kernel experiment: sharded replay JSON report path")
 	fleetBenchout := fs.String("fleet-benchout", fleetBenchOut, "fleet experiment: JSON report path")
+	optimizeBenchout := fs.String("optimize-benchout", optimizeBenchOut, "optimize experiment: JSON report path")
 	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
 	telDir := fs.String("telemetry-dir", "", "sweep experiment: export per-load telemetry artifacts under this directory")
 	if err := fs.Parse(args); err != nil {
@@ -374,6 +376,7 @@ func run(args []string, out io.Writer) error {
 	benchOut = *benchout
 	replayBenchOut = *replayBenchout
 	fleetBenchOut = *fleetBenchout
+	optimizeBenchOut = *optimizeBenchout
 	sweepTrace = *traceFile
 	telemetryDir = *telDir
 	if *cpuprofile != "" {
@@ -423,10 +426,10 @@ func run(args []string, out io.Writer) error {
 		if !all && !want[e.name] {
 			continue
 		}
-		// "sweep" is heavyweight; "kernel", "workload" and "fleet"
-		// print wall-clock measurements (nondeterministic output): only
-		// on explicit request.
-		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload" || e.name == "fleet") {
+		// "sweep" is heavyweight; "kernel", "workload", "fleet" and
+		// "optimize" print wall-clock measurements (nondeterministic
+		// output): only on explicit request.
+		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload" || e.name == "fleet" || e.name == "optimize") {
 			continue
 		}
 		start := time.Now()

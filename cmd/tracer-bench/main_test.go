@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -190,5 +191,32 @@ func TestFleetExcludedFromAll(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "=== fleet ===") {
 		t.Fatal("fleet benchmark ran without explicit -run fleet")
+	}
+}
+
+func TestOptimizeBenchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_optimize.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "optimize", "-optimize-benchout", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "winner") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report optimizeBenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Policy != "drpm" || len(report.Rows) != len(optimizeBenchWorkers) {
+		t.Fatalf("report: %+v", report)
+	}
+	for _, row := range report.Rows {
+		if !row.BestEquals {
+			t.Errorf("workers %d elected %q, differs from serial", row.Workers, row.BestPoint)
+		}
 	}
 }

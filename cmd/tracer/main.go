@@ -21,7 +21,9 @@
 //	tracer replay    -repo DIR -trace NAME | -in FILE [-device hdd|ssd] [-load PCT] [-telemetry-dir DIR] [-cadence D]
 //	tracer fleet     -arrays N [-workers W] [-policy P] [-device hdd|ssd] [-duration D] [-iops F] [-admit-rate F] [-power-cap W] [-telemetry-dir DIR]
 //	tracer report    [-dir DIR]
-//	tracer verify    [-golden DIR] [-update] [-tol F] [-telemetry-dir DIR] [-fidelity [-seed N]]
+//	tracer verify    [-golden DIR] [-update] [-tol F] [-telemetry-dir DIR] [-fidelity [-seed N]] [-optimize]
+//	tracer optimize  [-policy P[,P...]] [-space SPEC] [-driver grid|evolve] [-in FILE] [-load PCT] [-workers N] [-ledger-dir DIR] [-telemetry-dir DIR]
+//	tracer whatif    -ledger FILE (-decision N | -list) [-in FILE]
 package main
 
 import (
@@ -92,6 +94,10 @@ func run(args []string, out io.Writer) error {
 		return cmdReport(args[1:], out)
 	case "verify":
 		return cmdVerify(args[1:], out)
+	case "optimize":
+		return cmdOptimize(args[1:], out)
+	case "whatif":
+		return cmdWhatIf(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return nil
@@ -103,7 +109,7 @@ func run(args []string, out io.Writer) error {
 
 func usage(out io.Writer) {
 	fmt.Fprintln(out, `tracer — load-controllable energy-efficiency evaluation for storage systems
-subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, fleet, report, verify`)
+subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, fleet, report, verify, optimize, whatif`)
 }
 
 // cmdCollect builds peak synthetic traces into a repository.

@@ -21,10 +21,28 @@ func cmdVerify(args []string, out io.Writer) error {
 	update := fs.Bool("update", false, "regenerate the golden outputs instead of diffing")
 	tol := fs.Float64("tol", 0, "relative tolerance for comparison (0 = mode default)")
 	fidelity := fs.Bool("fidelity", false, "run the workload round-trip fidelity check instead of the golden diff")
+	optimizeGate := fs.Bool("optimize", false, "run the optimize determinism gate + golden diff instead of the replay corpus")
 	seed := fs.Uint64("seed", 1, "fidelity synthesis seed")
-	telemetryDir := fs.String("telemetry-dir", "", "export telemetry for the first failing fixture into this directory")
+	telemetryDir := fs.String("telemetry-dir", "", "export telemetry (or, with -optimize, the winners' decision ledgers) for the first failing fixture into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *optimizeGate {
+		if *fidelity {
+			return fmt.Errorf("verify: -optimize and -fidelity are mutually exclusive")
+		}
+		dir := *dir
+		if dir == "internal/check/testdata/golden" {
+			dir = "internal/check/testdata/golden/optimize"
+		}
+		opts := check.VerifyOptions{Update: *update, Tol: *tol, TelemetryDir: *telemetryDir}
+		if err := check.VerifyOptimize(dir, opts, out); err != nil {
+			return err
+		}
+		if !*update {
+			fmt.Fprintln(out, "optimize corpus verified (search deterministic at workers 1/2/8, winners beat paper defaults)")
+		}
+		return nil
 	}
 	if *fidelity {
 		if *update {

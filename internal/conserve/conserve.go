@@ -49,21 +49,60 @@ type ManagedDisk struct {
 
 	lastActivity simtime.Time
 	outstanding  int
+
+	ctl    *Control
+	policy string
+	index  int
 }
 
-// NewManagedDisk wraps disk with a timeout spin-down policy.
+// NewManagedDisk wraps disk with a timeout spin-down policy.  A zero
+// timeout spins the disk down the moment it goes idle; a timeout so
+// large that now+timeout overflows the integer clock simply never
+// fires.
 func NewManagedDisk(engine *simtime.Engine, disk SpinDowner, timeout simtime.Duration) *ManagedDisk {
-	if timeout <= 0 {
-		panic("conserve: timeout must be positive")
+	if timeout < 0 {
+		panic("conserve: timeout must be non-negative")
 	}
-	m := &ManagedDisk{engine: engine, disk: disk, timeout: timeout}
+	m := &ManagedDisk{engine: engine, disk: disk, timeout: timeout, policy: "tpm"}
 	m.armTimer()
 	return m
 }
 
+// AttachDecisions arms the disk's decision hooks: every spin-down
+// proposal and demand spin-up is sequenced through ctl under the given
+// policy label and member index.  A nil ctl detaches.
+func (m *ManagedDisk) AttachDecisions(ctl *Control, policy string, disk int) {
+	m.ctl = ctl
+	if policy != "" {
+		m.policy = policy
+	}
+	m.index = disk
+}
+
+// scheduleClamped schedules h at `at`, dropping deadlines that
+// overflowed past the integer clock horizon: an effectively infinite
+// timeout must never wrap into the past and busy-loop the kernel.  It
+// reports whether the event was scheduled.
+func scheduleClamped(e *simtime.Engine, at simtime.Time, h simtime.Handler) bool {
+	if at < e.Now() {
+		return false
+	}
+	e.ScheduleEvent(at, h, simtime.EventArg{})
+	return true
+}
+
+// queueDepthOf snapshots a device's queued-but-unstarted requests when
+// it exposes them (both disk models do).
+func queueDepthOf(dev any) int {
+	if q, ok := dev.(interface{ QueueDepth() int }); ok {
+		return q.QueueDepth()
+	}
+	return 0
+}
+
 // armTimer schedules the idle check one timeout from now.
 func (m *ManagedDisk) armTimer() {
-	m.engine.AfterEvent(m.timeout, m, simtime.EventArg{})
+	scheduleClamped(m.engine, m.engine.Now().Add(m.timeout), m)
 }
 
 // OnEvent implements simtime.Handler: an idle-check timer fired.  The
@@ -78,24 +117,52 @@ func (m *ManagedDisk) check(deadline simtime.Time) {
 	if m.outstanding > 0 || m.disk.InStandby() {
 		return // a completion or wake re-arms as needed
 	}
-	if deadline.Sub(m.lastActivity) >= m.timeout {
+	if idle := deadline.Sub(m.lastActivity); idle >= m.timeout {
+		if !m.ctl.propose(Decision{
+			At:          int64(deadline),
+			Kind:        DecisionSpinDown,
+			Policy:      m.policy,
+			Disk:        m.index,
+			IdleNs:      int64(idle),
+			QueueDepth:  queueDepthOf(m.disk),
+			Outstanding: m.outstanding,
+		}) {
+			// Vetoed (counterfactual): the disk stays up until the next
+			// activity cycle re-arms the idle timer, i.e. "what if it
+			// had not spun down here".
+			return
+		}
 		m.disk.Standby()
 		return
 	}
 	// Activity happened since this timer was armed; re-check at
 	// lastActivity+timeout.
-	m.engine.ScheduleEvent(m.lastActivity.Add(m.timeout), m, simtime.EventArg{})
+	scheduleClamped(m.engine, m.lastActivity.Add(m.timeout), m)
 }
 
 // Submit implements storage.Device.
 func (m *ManagedDisk) Submit(req storage.Request, done func(simtime.Time)) {
+	if m.ctl != nil && m.disk.InStandby() {
+		// Demand wake: the wrapped disk will transparently spin up to
+		// serve this request.  Forced — there is no alternative.
+		m.ctl.propose(Decision{
+			At:          int64(m.engine.Now()),
+			Kind:        DecisionSpinUp,
+			Policy:      m.policy,
+			Disk:        m.index,
+			IdleNs:      int64(m.engine.Now().Sub(m.lastActivity)),
+			QueueDepth:  queueDepthOf(m.disk),
+			Outstanding: m.outstanding,
+			Forced:      true,
+		})
+	}
 	m.lastActivity = m.engine.Now()
 	m.outstanding++
 	m.disk.Submit(req, func(finish simtime.Time) {
 		m.outstanding--
 		m.lastActivity = finish
 		if m.outstanding == 0 {
-			m.engine.ScheduleEvent(finish.Add(m.timeout), m, simtime.EventArg{})
+			scheduleClamped(m.engine, finish.Add(m.timeout), m)
 		}
 		done(finish)
 	})
@@ -207,6 +274,27 @@ func (m *MAID) Stats() MAIDStats { return m.stats }
 
 // DataDisks exposes the managed data disks (stats inspection).
 func (m *MAID) DataDisks() []*ManagedDisk { return m.data }
+
+// AttachDecisions routes every data-disk TPM decision through ctl
+// under the "maid" policy label, indexed by data-disk position.
+func (m *MAID) AttachDecisions(ctl *Control) {
+	for i, d := range m.data {
+		d.AttachDecisions(ctl, "maid", i)
+	}
+}
+
+// MemberHDDs lists every member drive (cache first, then data) for
+// wear accounting and invariant checks.
+func (m *MAID) MemberHDDs() []*disksim.HDD {
+	hdds := make([]*disksim.HDD, 0, len(m.cache)+len(m.data))
+	hdds = append(hdds, m.cache...)
+	for _, d := range m.data {
+		if h, ok := d.Disk().(*disksim.HDD); ok {
+			hdds = append(hdds, h)
+		}
+	}
+	return hdds
+}
 
 // PowerSource aggregates all member timelines (no chassis model here;
 // compose with raid.ChassisParams externally when comparing arrays).

@@ -25,6 +25,9 @@ type DRPMDisk struct {
 	level        int
 	lastActivity simtime.Time
 	outstanding  int
+
+	ctl   *Control
+	index int
 }
 
 // DefaultDRPMLevels are four speed steps down to half speed.
@@ -46,11 +49,22 @@ func NewDRPMDisk(engine *simtime.Engine, disk *disksim.HDD, levels []float64, st
 // Level reports the current policy level index (0 = full speed).
 func (d *DRPMDisk) Level() int { return d.level }
 
+// Levels exposes the declared speed-fraction table.
+func (d *DRPMDisk) Levels() []float64 { return d.levels }
+
 // Disk exposes the wrapped drive.
 func (d *DRPMDisk) Disk() *disksim.HDD { return d.disk }
 
+// AttachDecisions arms the policy's decision hooks: every RPM shift
+// (down-steps and the full-speed restore) is sequenced through ctl
+// under the "drpm" policy label and member index.
+func (d *DRPMDisk) AttachDecisions(ctl *Control, disk int) {
+	d.ctl = ctl
+	d.index = disk
+}
+
 func (d *DRPMDisk) armTimer() {
-	d.engine.AfterEvent(d.stepDown, d, simtime.EventArg{})
+	scheduleClamped(d.engine, d.engine.Now().Add(d.stepDown), d)
 }
 
 // OnEvent implements simtime.Handler: a step-down timer fired; the
@@ -64,16 +78,36 @@ func (d *DRPMDisk) check(deadline simtime.Time) {
 	if d.outstanding > 0 {
 		return // completion re-arms
 	}
-	if deadline.Sub(d.lastActivity) >= d.stepDown {
-		if d.level+1 < len(d.levels) && d.disk.SetRPMFraction(d.levels[d.level+1]) {
-			d.level++
+	if idle := deadline.Sub(d.lastActivity); idle >= d.stepDown {
+		// Propose only shifts the drive will accept (it refuses while a
+		// previous shift settles), so the ledger records exactly the
+		// transitions that happen.
+		if d.level+1 < len(d.levels) && d.disk.CanSetRPM() {
+			if !d.ctl.propose(Decision{
+				At:          int64(deadline),
+				Kind:        DecisionRPMShift,
+				Policy:      "drpm",
+				Disk:        d.index,
+				FromLevel:   d.level,
+				Level:       d.level + 1,
+				IdleNs:      int64(idle),
+				QueueDepth:  d.disk.QueueDepth(),
+				Outstanding: d.outstanding,
+			}) {
+				// Vetoed (counterfactual): hold this speed until the
+				// next activity cycle re-arms the step-down timer.
+				return
+			}
+			if d.disk.SetRPMFraction(d.levels[d.level+1]) {
+				d.level++
+			}
 		}
 		if d.level+1 < len(d.levels) {
 			d.armTimer()
 		}
 		return
 	}
-	d.engine.ScheduleEvent(d.lastActivity.Add(d.stepDown), d, simtime.EventArg{})
+	scheduleClamped(d.engine, d.lastActivity.Add(d.stepDown), d)
 }
 
 // Submit implements storage.Device.  Arrival at reduced speed requests
@@ -87,10 +121,19 @@ func (d *DRPMDisk) Submit(req storage.Request, done func(simtime.Time)) {
 		d.lastActivity = finish
 		if d.outstanding == 0 {
 			// Load present: restore full speed for the next burst.
-			if d.level != 0 && d.disk.SetRPMFraction(d.levels[0]) {
+			if d.level != 0 && d.disk.CanSetRPM() && d.ctl.propose(Decision{
+				At:          int64(finish),
+				Kind:        DecisionRPMShift,
+				Policy:      "drpm",
+				Disk:        d.index,
+				FromLevel:   d.level,
+				Level:       0,
+				QueueDepth:  d.disk.QueueDepth(),
+				Outstanding: d.outstanding,
+			}) && d.disk.SetRPMFraction(d.levels[0]) {
 				d.level = 0
 			}
-			d.engine.ScheduleEvent(finish.Add(d.stepDown), d, simtime.EventArg{})
+			scheduleClamped(d.engine, finish.Add(d.stepDown), d)
 		}
 		done(finish)
 	})

@@ -27,9 +27,12 @@ type ERAIDArray struct {
 	window            simtime.Duration
 
 	offline     int // member currently resting, or -1
+	maxOffline  int // degraded-set bound (<= parity tolerance)
 	windowIOs   int64
 	outstanding int
 	armed       bool // whether a tick is scheduled
+
+	ctl *Control
 
 	stats ERAIDStats
 }
@@ -52,6 +55,17 @@ type ERAIDParams struct {
 	LowIOPS, HighIOPS float64
 	// Window is the load-evaluation interval.
 	Window simtime.Duration
+	// MaxOffline bounds the degraded set.  RAID-5 tolerates exactly one
+	// missing member, so any value above the parity tolerance is an
+	// error — the array must never degrade below reconstruction-safe
+	// disk count.  0 defaults to 1; -1 disables offlining entirely (an
+	// always-on eRAID, the fair baseline for its parity layout).
+	MaxOffline int
+	// Control, when non-nil, observes and arbitrates policy decisions
+	// from construction on.  The load evaluator ticks once at t=0, so a
+	// control attached only after construction would miss any decision
+	// that first tick takes.
+	Control *Control
 }
 
 // DefaultERAIDParams returns the 6-member configuration used by the
@@ -78,6 +92,15 @@ func NewERAIDArray(engine *simtime.Engine, p ERAIDParams) (*ERAIDArray, error) {
 	if p.HighIOPS <= p.LowIOPS {
 		return nil, fmt.Errorf("conserve: eRAID thresholds inverted: low %v >= high %v", p.LowIOPS, p.HighIOPS)
 	}
+	if p.MaxOffline == 0 {
+		p.MaxOffline = 1
+	}
+	if p.MaxOffline < 0 {
+		p.MaxOffline = 0 // -1: never rest a member
+	}
+	if p.MaxOffline > 1 {
+		return nil, fmt.Errorf("conserve: eRAID degraded-set size %d exceeds RAID-5 parity tolerance 1", p.MaxOffline)
+	}
 	p.RAID.Level = raid.RAID5
 	hdds := make([]*disksim.HDD, p.Disks)
 	members := make([]raid.Disk, p.Disks)
@@ -93,13 +116,15 @@ func NewERAIDArray(engine *simtime.Engine, p ERAIDParams) (*ERAIDArray, error) {
 		return nil, err
 	}
 	e := &ERAIDArray{
-		engine:   engine,
-		array:    array,
-		hdds:     hdds,
-		lowIOPS:  p.LowIOPS,
-		highIOPS: p.HighIOPS,
-		window:   p.Window,
-		offline:  -1,
+		engine:     engine,
+		array:      array,
+		hdds:       hdds,
+		lowIOPS:    p.LowIOPS,
+		highIOPS:   p.HighIOPS,
+		window:     p.Window,
+		offline:    -1,
+		maxOffline: p.MaxOffline,
+		ctl:        p.Control,
 	}
 	e.armed = true
 	e.tick()
@@ -110,11 +135,22 @@ func NewERAIDArray(engine *simtime.Engine, p ERAIDParams) (*ERAIDArray, error) {
 func (e *ERAIDArray) tick() {
 	iops := float64(e.windowIOs) / e.window.Seconds()
 	e.windowIOs = 0
+	now := e.engine.Now()
 	switch {
-	case e.offline < 0 && iops < e.lowIOPS && e.outstanding == 0:
+	case e.offline < 0 && e.maxOffline > 0 && iops < e.lowIOPS && e.outstanding == 0:
 		// Rest the last member: the rotating parity layout spreads its
 		// load across the survivors evenly regardless of which we pick.
 		victim := len(e.hdds) - 1
+		if !e.ctl.propose(Decision{
+			At:          int64(now),
+			Kind:        DecisionOffline,
+			Policy:      "eraid",
+			Disk:        victim,
+			QueueDepth:  e.hdds[victim].QueueDepth(),
+			Outstanding: e.outstanding,
+		}) {
+			break // vetoed: stay fully redundant this window
+		}
 		if err := e.array.FailDisk(victim); err == nil {
 			if e.hdds[victim].Standby() {
 				e.offline = victim
@@ -124,19 +160,32 @@ func (e *ERAIDArray) tick() {
 			}
 		}
 	case e.offline >= 0 && iops > e.highIOPS:
+		if !e.ctl.propose(Decision{
+			At:          int64(now),
+			Kind:        DecisionRestore,
+			Policy:      "eraid",
+			Disk:        e.offline,
+			QueueDepth:  e.hdds[e.offline].QueueDepth(),
+			Outstanding: e.outstanding,
+		}) {
+			break // vetoed: serve degraded for another window
+		}
 		e.hdds[e.offline].Wake()
 		e.array.RestoreDisk()
 		e.offline = -1
 		e.stats.Restores++
 	}
-	// Once a member rests and the array is quiet there is nothing left
-	// to decide: stop ticking so the simulation can drain.  The next
-	// Submit re-arms the evaluator.
-	if e.offline >= 0 && iops == 0 && e.outstanding == 0 {
+	// Once the array is quiet there is nothing left to decide — either a
+	// member already rests, or this tick just tried to rest one: stop
+	// ticking so the simulation can drain.  The next Submit re-arms the
+	// evaluator.  (Gating on offline >= 0 instead would tick forever
+	// when resting is disabled or vetoed, marching the virtual clock to
+	// overflow.)
+	if iops == 0 && e.outstanding == 0 {
 		e.armed = false
 		return
 	}
-	e.engine.AfterEvent(e.window, e, simtime.EventArg{})
+	e.armed = scheduleClamped(e.engine, now.Add(e.window), e)
 }
 
 // OnEvent implements simtime.Handler: the load-evaluation tick fired.
@@ -147,8 +196,7 @@ func (e *ERAIDArray) Submit(req storage.Request, done func(simtime.Time)) {
 	e.windowIOs++
 	e.outstanding++
 	if !e.armed {
-		e.armed = true
-		e.engine.AfterEvent(e.window, e, simtime.EventArg{})
+		e.armed = scheduleClamped(e.engine, e.engine.Now().Add(e.window), e)
 	}
 	e.array.Submit(req, func(t simtime.Time) {
 		e.outstanding--
@@ -167,6 +215,13 @@ func (e *ERAIDArray) Array() *raid.Array { return e.array }
 
 // Offline reports the resting member, or -1.
 func (e *ERAIDArray) Offline() int { return e.offline }
+
+// HDDs exposes the member drives (wear accounting, invariant checks).
+func (e *ERAIDArray) HDDs() []*disksim.HDD { return e.hdds }
+
+// AttachDecisions arms the policy's decision hooks: member offline and
+// restore transitions are sequenced through ctl.
+func (e *ERAIDArray) AttachDecisions(ctl *Control) { e.ctl = ctl }
 
 // Stats returns policy counters.
 func (e *ERAIDArray) Stats() ERAIDStats { return e.stats }

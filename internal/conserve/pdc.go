@@ -38,6 +38,8 @@ type PDC struct {
 	armed       bool
 	windowIOs   int64
 
+	ctl *Control
+
 	stats PDCStats
 }
 
@@ -127,6 +129,22 @@ func (d *PDC) Stats() PDCStats { return d.stats }
 // Disks exposes the managed members.
 func (d *PDC) Disks() []*ManagedDisk { return d.disks }
 
+// HDDs exposes the member drives (wear accounting, invariant checks).
+func (d *PDC) HDDs() []*disksim.HDD { return d.hdds }
+
+// DiskOf resolves the current placement of a chunk (invariant checks).
+func (d *PDC) DiskOf(chunk int64) int { return d.diskOf(chunk) }
+
+// AttachDecisions arms the policy's decision hooks: chunk migrations
+// are sequenced under "pdc", and every member's TPM spin-down/spin-up
+// rides the same control with its member index.
+func (d *PDC) AttachDecisions(ctl *Control) {
+	d.ctl = ctl
+	for i, m := range d.disks {
+		m.AttachDecisions(ctl, "pdc", i)
+	}
+}
+
 // PowerSource aggregates member power.
 func (d *PDC) PowerSource() powersim.Source {
 	var sum powersim.Sum
@@ -163,8 +181,7 @@ func (d *PDC) Submit(req storage.Request, done func(simtime.Time)) {
 		panic(fmt.Sprintf("conserve: invalid request: %v", err))
 	}
 	if !d.armed {
-		d.armed = true
-		d.engine.AfterEvent(d.params.ReorgInterval, d, simtime.EventArg{})
+		d.armed = scheduleClamped(d.engine, d.engine.Now().Add(d.params.ReorgInterval), d)
 	}
 	d.windowIOs++
 	d.outstanding++
@@ -230,6 +247,18 @@ func (d *PDC) reorg() {
 			break
 		}
 		if cur := d.diskOf(r.chunk); cur != target && migrated < d.params.MaxMigrations {
+			if !d.ctl.propose(Decision{
+				At:          int64(d.engine.Now()),
+				Kind:        DecisionMigrate,
+				Policy:      "pdc",
+				Disk:        cur,
+				Chunk:       r.chunk,
+				FromDisk:    cur,
+				ToDisk:      target,
+				Outstanding: d.outstanding,
+			}) {
+				continue // vetoed: the chunk stays where it is
+			}
 			d.migrate(r.chunk, cur, target)
 			migrated++
 		}
@@ -248,7 +277,7 @@ func (d *PDC) reorg() {
 		return
 	}
 	d.windowIOs = 0
-	d.engine.AfterEvent(d.params.ReorgInterval, d, simtime.EventArg{})
+	d.armed = scheduleClamped(d.engine, d.engine.Now().Add(d.params.ReorgInterval), d)
 }
 
 // migrate moves one chunk: read from the source member, write to the

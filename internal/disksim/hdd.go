@@ -313,6 +313,14 @@ func (d *HDD) Wake() bool {
 // nominal.
 func (d *HDD) RPMFraction() float64 { return d.rpmFrac }
 
+// CanSetRPM reports whether a speed shift would be accepted right now:
+// the drive must be idle, spinning at steady state, and have nothing
+// queued.  Policies check it before proposing a shift so their decision
+// ledgers record only shifts that actually happen.
+func (d *HDD) CanSetRPM() bool {
+	return !d.busy && d.spin == spinning && len(d.queue) == 0
+}
+
 // SetRPMFraction changes the spindle speed (DRPM, Gurumurthi et al.):
 // slower rotation draws roughly cubically less spindle power at the
 // cost of longer rotational latency and a lower media rate.  The shift

@@ -5,12 +5,10 @@ import (
 	"io"
 
 	"repro/internal/conserve"
-	"repro/internal/disksim"
 	"repro/internal/powersim"
 	"repro/internal/replay"
 	"repro/internal/simtime"
 	"repro/internal/storage"
-	"repro/internal/synth"
 )
 
 // ConservationRow is one (technique, load) measurement: the columns
@@ -49,12 +47,7 @@ func ConservationStudy(cfg Config) (*ConservationResult, error) {
 	// idle gaps, and a hot working set small enough that MAID's cache
 	// absorbs essentially all reads once warm.  This is the regime the
 	// surveyed techniques (Table I) target.
-	wp := synth.DefaultWebServer()
-	wp.Seed = cfg.Seed
-	wp.Duration = 10 * simtime.Minute
-	wp.MeanIOPS = 4
-	wp.FootprintBytes = 4 << 20 // hot 4 MB: fully cacheable
-	trace := synth.WebServerTrace(wp)
+	trace := ConservationTrace(cfg.Seed)
 
 	// Flatten technique x load into one parallel cell list; energy
 	// savings relative to the always-on baseline are derived in a
@@ -122,53 +115,14 @@ func ConservationStudy(cfg Config) (*ConservationResult, error) {
 	return res, nil
 }
 
-// buildConservation provisions the device stack for one technique.
+// buildConservation provisions the device stack for one technique with
+// the study's default spec.
 func buildConservation(engine *simtime.Engine, technique string) (storage.Device, powersim.Source, *conserve.MAID, error) {
-	const nDisks = 6
-	drive := disksim.Seagate7200()
-	switch technique {
-	case "always-on", "tpm", "drpm":
-		members := make([]conserve.Member, nDisks)
-		for i := range members {
-			p := drive
-			p.Seed += uint64(i) * 104729
-			hdd := disksim.NewHDD(engine, p)
-			switch technique {
-			case "tpm":
-				members[i] = conserve.NewManagedDisk(engine, hdd, 10*simtime.Second)
-			case "drpm":
-				members[i] = conserve.NewDRPMDisk(engine, hdd, nil, 2*simtime.Second)
-			default:
-				members[i] = hdd
-			}
-		}
-		jbod, err := conserve.NewJBOD(members, 64<<10)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return jbod, jbod.PowerSource(), nil, nil
-	case "pdc":
-		p := conserve.DefaultPDCParams()
-		p.Drive = drive
-		p.ReorgInterval = 5 * simtime.Second
-		p.SpinDownTimeout = 10 * simtime.Second
-		pdc, err := conserve.NewPDC(engine, p)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return pdc, pdc.PowerSource(), nil, nil
-	case "maid":
-		p := conserve.DefaultMAIDParams()
-		p.Drive = drive
-		p.DataTimeout = 10 * simtime.Second
-		maid, err := conserve.NewMAID(engine, p)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return maid, maid.PowerSource(), maid, nil
-	default:
-		return nil, nil, nil, fmt.Errorf("unknown technique %q", technique)
+	sys, err := NewConserveSystem(engine, ConserveSpec{Technique: technique})
+	if err != nil {
+		return nil, nil, nil, err
 	}
+	return sys.Device, sys.Source, sys.MAID, nil
 }
 
 // RenderConservationStudy prints the comparison.

@@ -54,9 +54,9 @@ func TestLeastLoadedNeverPicksBusier(t *testing.T) {
 func TestWeightedScorePrefersLowScore(t *testing.T) {
 	p := NewWeightedScore()
 	states := []ArrayState{
-		{Outstanding: 1, QueuedBytes: 8 << 20}, // 1 + 128 = 129
+		{Outstanding: 1, QueuedBytes: 8 << 20},  // 1 + 128 = 129
 		{Outstanding: 3, QueuedBytes: 64 << 10}, // 3 + 1 = 4
-		{Outstanding: 2, QueuedBytes: 4 << 20}, // 2 + 64 = 66
+		{Outstanding: 2, QueuedBytes: 4 << 20},  // 2 + 64 = 66
 	}
 	if got := p.Pick(ClientRequest{}, states); got != 1 {
 		t.Fatalf("weighted picked %d, want 1", got)

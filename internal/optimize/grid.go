@@ -1,0 +1,63 @@
+package optimize
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/blktrace"
+	"repro/internal/parsweep"
+)
+
+// SearchResult is the outcome of one search driver run.
+type SearchResult struct {
+	// Best is the winning evaluation.
+	Best Eval `json:"best"`
+	// BestIndex is the winner's grid cell (grid search) or -1
+	// (evolutionary search).
+	BestIndex int `json:"best_index"`
+	// Evals are all scored points: grid order for the grid driver,
+	// discovery order (deduplicated) for the evolutionary driver.
+	Evals []Eval `json:"evals"`
+	// Cells counts simulation cells actually run (the evolutionary
+	// driver caches repeated genomes).
+	Cells int `json:"cells"`
+}
+
+// better reports whether candidate beats incumbent under the
+// deterministic tie-break: higher fitness wins, equal fitness falls to
+// the lower cell index.  The rule is total, so every worker count and
+// traversal order elects the same winner.
+func better(candidate Eval, candidateIdx int, incumbent Eval, incumbentIdx int) bool {
+	if candidate.Fitness != incumbent.Fitness {
+		return candidate.Fitness > incumbent.Fitness
+	}
+	return candidateIdx < incumbentIdx
+}
+
+// Grid exhaustively evaluates every cell of the space, fanned across
+// opts.Workers via parsweep.  Results are byte-identical at any worker
+// count: cells are self-seeded and independent, parsweep orders results
+// by index, and the winner tie-break is total.
+func Grid(ctx context.Context, space Space, trace *blktrace.Trace, opts Options) (*SearchResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+	n := space.Cells()
+	evals, err := parsweep.Map(ctx, parsweep.Options{
+		Workers: opts.Workers,
+		Label:   func(i int) string { return fmt.Sprintf("optimize %s", space.Point(i)) },
+	}, n, func(i int) (Eval, error) {
+		return Evaluate(opts, space.Point(i), trace, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SearchResult{Evals: evals, Cells: n, BestIndex: 0, Best: evals[0]}
+	for i, e := range evals[1:] {
+		if better(e, i+1, res.Best, res.BestIndex) {
+			res.Best, res.BestIndex = e, i+1
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,145 @@
+package optimize
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/blktrace"
+	"repro/internal/conserve"
+)
+
+// LedgerVersion is the on-disk schema version.  Readers reject other
+// versions instead of guessing.
+const LedgerVersion = 1
+
+// ErrBadLedger labels every decode failure of the decision-ledger
+// codec, mirroring the blktrace ErrBadFormat convention: wrap with
+// line/context detail, test with errors.Is.
+var ErrBadLedger = errors.New("optimize: bad decision ledger")
+
+// LedgerHeader is the first JSONL line of a ledger: enough context
+// (policy, winning parameters, load, seed) to re-provision the exact
+// run that produced the decisions — the counterfactual replayer needs
+// nothing else.
+type LedgerHeader struct {
+	Version int                `json:"version"`
+	Policy  string             `json:"policy"`
+	Params  map[string]float64 `json:"params,omitempty"`
+	Load    float64            `json:"load"`
+	Seed    uint64             `json:"seed"`
+	// Decisions is the entry count that follows; readers verify it so
+	// a truncated file fails loudly.
+	Decisions int64 `json:"decisions"`
+}
+
+// Point reconstructs the recorded operating point.
+func (h LedgerHeader) Point() Point {
+	return Point{Policy: h.Policy, Params: h.Params}
+}
+
+// Recorder accumulates every decision of a run in sequence order.  It
+// plugs into conserve.Control as the Observer.
+type Recorder struct {
+	decisions []conserve.Decision
+}
+
+// ObserveDecision implements conserve.DecisionObserver.
+func (r *Recorder) ObserveDecision(d conserve.Decision) {
+	r.decisions = append(r.decisions, d)
+}
+
+// Decisions returns the recorded stream.
+func (r *Recorder) Decisions() []conserve.Decision { return r.decisions }
+
+var _ conserve.DecisionObserver = (*Recorder)(nil)
+
+// WriteLedger emits the versioned JSONL stream: one header line, then
+// one line per decision.
+func WriteLedger(w io.Writer, h LedgerHeader, decisions []conserve.Decision) error {
+	h.Version = LedgerVersion
+	h.Decisions = int64(len(decisions))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return err
+	}
+	for i := range decisions {
+		if err := enc.Encode(decisions[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLedger decodes a ledger, validating version, sequence continuity
+// and the declared entry count.  Every failure wraps ErrBadLedger with
+// the offending line number.
+func ReadLedger(r io.Reader) (LedgerHeader, []conserve.Decision, error) {
+	var h LedgerHeader
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, fmt.Errorf("%w: %v", ErrBadLedger, err)
+		}
+		return h, nil, fmt.Errorf("%w: empty file (missing header)", ErrBadLedger)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("%w: line 1: malformed header: %v", ErrBadLedger, err)
+	}
+	if h.Version != LedgerVersion {
+		return h, nil, fmt.Errorf("%w: line 1: version %d, want %d", ErrBadLedger, h.Version, LedgerVersion)
+	}
+	if h.Policy == "" {
+		return h, nil, fmt.Errorf("%w: line 1: header missing policy", ErrBadLedger)
+	}
+	var decisions []conserve.Decision
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var d conserve.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			return h, nil, fmt.Errorf("%w: line %d: malformed decision: %v", ErrBadLedger, line, err)
+		}
+		if d.Kind == "" {
+			return h, nil, fmt.Errorf("%w: line %d: decision missing kind", ErrBadLedger, line)
+		}
+		if want := int64(len(decisions)); d.Seq != want {
+			return h, nil, fmt.Errorf("%w: line %d: sequence %d, want %d", ErrBadLedger, line, d.Seq, want)
+		}
+		decisions = append(decisions, d)
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, fmt.Errorf("%w: line %d: %v", ErrBadLedger, line, err)
+	}
+	if int64(len(decisions)) != h.Decisions {
+		return h, nil, fmt.Errorf("%w: truncated: header declares %d decisions, found %d", ErrBadLedger, h.Decisions, len(decisions))
+	}
+	return h, decisions, nil
+}
+
+// RecordedRun bundles one recorded run: the header that re-provisions
+// it, its evaluation, and the full decision stream.
+type RecordedRun struct {
+	Header    LedgerHeader
+	Eval      Eval
+	Decisions []conserve.Decision
+}
+
+// Record runs one operating point under a Recorder and returns its
+// evaluation plus the full decision stream — the canonical ledger
+// `tracer optimize` writes for the winner.
+func Record(opts Options, pt Point, trace *blktrace.Trace) (Eval, []conserve.Decision, error) {
+	rec := &Recorder{}
+	ev, err := Evaluate(opts, pt, trace, &conserve.Control{Observer: rec})
+	if err != nil {
+		return Eval{}, nil, err
+	}
+	return ev, rec.Decisions(), nil
+}

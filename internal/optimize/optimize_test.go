@@ -1,0 +1,298 @@
+package optimize
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/blktrace"
+	"repro/internal/conserve"
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+	"repro/internal/synth"
+)
+
+// testTrace is a short idle-heavy workload: enough gaps for every
+// policy to act, small enough to keep the suite fast.
+func testTrace(seed uint64) *blktrace.Trace {
+	wp := synth.DefaultWebServer()
+	wp.Seed = seed
+	wp.Duration = 90 * simtime.Second
+	wp.MeanIOPS = 4
+	wp.FootprintBytes = 4 << 20
+	return synth.WebServerTrace(wp)
+}
+
+func testOptions(workers int) Options {
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = 7
+	return Options{Config: cfg, Load: 0.5, Workers: workers}
+}
+
+func TestFitnessSanitizesDegenerateObjectives(t *testing.T) {
+	w := DefaultWeights()
+	for _, o := range []Objectives{
+		{IOPSPerWatt: math.NaN()},
+		{P99Ms: math.Inf(1)},
+		{IOPSPerWatt: math.Inf(-1), P99Ms: math.NaN()},
+	} {
+		if f := w.Fitness(o); math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("Fitness(%+v) = %v, want finite", o, f)
+		}
+	}
+}
+
+func TestPointSpecRejectsUnknownParam(t *testing.T) {
+	_, err := (Point{Policy: "tpm", Params: map[string]float64{"bogus": 1}}).Spec()
+	if err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}
+
+func TestSpacePointRoundTrip(t *testing.T) {
+	s, err := DefaultSpace("drpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Cells(), 12; got != want {
+		t.Fatalf("Cells() = %d, want %d", got, want)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < s.Cells(); i++ {
+		k := s.Point(i).String()
+		if seen[k] {
+			t.Fatalf("cell %d duplicates point %s", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGridIdenticalAcrossWorkers(t *testing.T) {
+	space := Space{Policy: "tpm", Dims: []Dim{{Name: "timeout_s", Values: []float64{2, 5, 10}}}}
+	trace := testTrace(1)
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Grid(context.Background(), space, trace, testOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(ref, b) {
+			t.Fatalf("workers=%d result differs from workers=1:\n%s\nvs\n%s", workers, b, ref)
+		}
+	}
+}
+
+func TestEvolveIdenticalAcrossWorkersAndRuns(t *testing.T) {
+	space, err := DefaultSpace("drpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := testTrace(2)
+	run := func(workers int) []byte {
+		opts := EvolveOptions{Options: testOptions(workers), Generations: 2, Population: 4, Seed: 99}
+		res, err := Evolve(context.Background(), space, trace, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		if b := run(workers); !bytes.Equal(ref, b) {
+			t.Fatalf("workers=%d evolve result differs", workers)
+		}
+	}
+	if b := run(1); !bytes.Equal(ref, b) {
+		t.Fatal("same-seed rerun differs")
+	}
+}
+
+func TestGridFindsPolicyDecisions(t *testing.T) {
+	space := Space{Policy: "tpm", Dims: []Dim{{Name: "timeout_s", Values: []float64{2}}}}
+	trace := testTrace(3)
+	ev, decisions, err := Record(testOptions(1), space.Point(0), trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) == 0 {
+		t.Fatal("idle-heavy trace with 2s timeout produced no decisions")
+	}
+	if ev.Objectives.SpinUps == 0 {
+		t.Fatal("expected demand spin-ups in wear counts")
+	}
+	for i, d := range decisions {
+		if d.Seq != int64(i) {
+			t.Fatalf("decision %d has seq %d", i, d.Seq)
+		}
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	trace := testTrace(4)
+	pt := Point{Policy: "tpm", Params: map[string]float64{"timeout_s": 2}}
+	opts := testOptions(1)
+	_, decisions, err := Record(opts, pt, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := LedgerHeader{Policy: "tpm", Params: pt.Params, Load: opts.Load, Seed: opts.Config.Seed}
+	var buf bytes.Buffer
+	if err := WriteLedger(&buf, h, decisions); err != nil {
+		t.Fatal(err)
+	}
+	h2, ds2, err := ReadLedger(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Policy != "tpm" || h2.Load != opts.Load || h2.Seed != opts.Config.Seed {
+		t.Fatalf("header round-trip mismatch: %+v", h2)
+	}
+	if len(ds2) != len(decisions) {
+		t.Fatalf("decision count %d, want %d", len(ds2), len(decisions))
+	}
+	for i := range ds2 {
+		if ds2[i] != decisions[i] {
+			t.Fatalf("decision %d round-trip mismatch: %+v vs %+v", i, ds2[i], decisions[i])
+		}
+	}
+}
+
+func TestLedgerRejectsCorruption(t *testing.T) {
+	trace := testTrace(4)
+	pt := Point{Policy: "tpm", Params: map[string]float64{"timeout_s": 2}}
+	opts := testOptions(1)
+	_, decisions, err := Record(opts, pt, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) < 2 {
+		t.Fatalf("need >= 2 decisions, got %d", len(decisions))
+	}
+	var buf bytes.Buffer
+	if err := WriteLedger(&buf, LedgerHeader{Policy: "tpm", Load: 0.5, Seed: 7}, decisions); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(good, "\n"), "\n")
+
+	cases := map[string]string{
+		"empty":           "",
+		"truncated tail":  strings.Join(lines[:len(lines)-1], ""),
+		"cut mid-line":    good[:len(good)-10],
+		"bad json header": "{not json\n" + strings.Join(lines[1:], ""),
+		"bad json line":   lines[0] + "{not json\n" + strings.Join(lines[2:], ""),
+		"wrong version":   strings.Replace(good, `"version":1`, `"version":9`, 1),
+		"seq gap":         strings.Replace(good, `"seq":1`, `"seq":5`, 1),
+		"missing policy":  strings.Replace(good, `"policy":"tpm"`, `"policy":""`, 1),
+	}
+	for name, data := range cases {
+		if _, _, err := ReadLedger(strings.NewReader(data)); !errors.Is(err, ErrBadLedger) {
+			t.Errorf("%s: error %v, want ErrBadLedger", name, err)
+		}
+	}
+	if _, _, err := ReadLedger(strings.NewReader(good)); err != nil {
+		t.Fatalf("pristine ledger rejected: %v", err)
+	}
+}
+
+func TestCounterfactualSpinDown(t *testing.T) {
+	trace := testTrace(5)
+	pt := Point{Policy: "tpm", Params: map[string]float64{"timeout_s": 2}}
+	opts := testOptions(1)
+	_, decisions, err := Record(opts, pt, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := LedgerHeader{Policy: "tpm", Params: pt.Params, Load: opts.Load, Seed: opts.Config.Seed}
+
+	var pin int64 = -1
+	var forced int64 = -1
+	for _, d := range decisions {
+		if pin < 0 && d.Kind == conserve.DecisionSpinDown && !d.Forced {
+			pin = d.Seq
+		}
+		if forced < 0 && d.Forced {
+			forced = d.Seq
+		}
+	}
+	if pin < 0 {
+		t.Fatal("no spin-down decision recorded")
+	}
+	w, err := Counterfactual(opts, h, decisions, pin, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DeltaEnergyJ == 0 {
+		t.Fatalf("vetoing spin-down %d left energy unchanged: %+v", pin, w)
+	}
+	// Keeping the disk up must cost energy relative to the recorded run.
+	if w.DeltaEnergyJ < 0 {
+		t.Fatalf("vetoing a spin-down reduced energy: %+v", w)
+	}
+
+	if forced >= 0 {
+		if _, err := Counterfactual(opts, h, decisions, forced, trace); err == nil {
+			t.Fatal("forced decision accepted for counterfactual")
+		}
+	}
+	if _, err := Counterfactual(opts, h, decisions, int64(len(decisions)), trace); err == nil {
+		t.Fatal("out-of-range decision accepted")
+	}
+}
+
+func TestCounterfactualDetectsLedgerDrift(t *testing.T) {
+	trace := testTrace(5)
+	pt := Point{Policy: "tpm", Params: map[string]float64{"timeout_s": 2}}
+	opts := testOptions(1)
+	_, decisions, err := Record(opts, pt, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pin int64 = -1
+	for _, d := range decisions {
+		if d.Kind == conserve.DecisionSpinDown && !d.Forced {
+			pin = d.Seq
+			break
+		}
+	}
+	if pin < 0 {
+		t.Fatal("no spin-down decision recorded")
+	}
+	h := LedgerHeader{Policy: "tpm", Params: pt.Params, Load: opts.Load, Seed: opts.Config.Seed}
+	tampered := append([]conserve.Decision(nil), decisions...)
+	tampered[pin].At += 12345
+	if _, err := Counterfactual(opts, h, tampered, pin, trace); err == nil {
+		t.Fatal("drifted ledger accepted")
+	}
+}
+
+func TestBaselineUsesPaperDefaults(t *testing.T) {
+	trace := testTrace(6)
+	base, err := Baseline(testOptions(1), "tpm", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Evaluate(testOptions(1), Point{Policy: "tpm", Params: map[string]float64{"timeout_s": 10}}, trace, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fitness != explicit.Fitness {
+		t.Fatalf("baseline fitness %v != explicit 10s fitness %v", base.Fitness, explicit.Fitness)
+	}
+}

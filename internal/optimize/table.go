@@ -1,0 +1,32 @@
+package optimize
+
+import (
+	"fmt"
+	"io"
+)
+
+// TableRow pairs a policy's paper-default baseline with the search
+// winner for the LEDGER.md comparison.
+type TableRow struct {
+	Policy   string `json:"policy"`
+	Baseline Eval   `json:"baseline"`
+	Best     Eval   `json:"best"`
+	// Driver names the search that found Best (grid, evolve).
+	Driver string `json:"driver"`
+	// Cells counts simulation cells the search spent.
+	Cells int `json:"cells"`
+}
+
+// RenderTable writes the policy-vs-baseline markdown table.
+func RenderTable(w io.Writer, rows []TableRow) {
+	fmt.Fprintln(w, "| policy | driver | cells | winning point | fitness (best/baseline) | IOPS/W (best/baseline) | p99 ms (best/baseline) | spin-ups (best/baseline) |")
+	fmt.Fprintln(w, "|---|---|---:|---|---|---|---|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %s | %d | `%s` | %.3f / %.3f | %.3f / %.3f | %.2f / %.2f | %d / %d |\n",
+			r.Policy, r.Driver, r.Cells, r.Best.Point,
+			r.Best.Fitness, r.Baseline.Fitness,
+			r.Best.Objectives.IOPSPerWatt, r.Baseline.Objectives.IOPSPerWatt,
+			r.Best.Objectives.P99Ms, r.Baseline.Objectives.P99Ms,
+			r.Best.Objectives.SpinUps, r.Baseline.Objectives.SpinUps)
+	}
+}

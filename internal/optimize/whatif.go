@@ -1,0 +1,122 @@
+package optimize
+
+import (
+	"fmt"
+
+	"repro/internal/blktrace"
+	"repro/internal/conserve"
+)
+
+// Outcome summarises one replay for the counterfactual report.
+type Outcome struct {
+	EnergyJ   float64 `json:"energy_j"`
+	MeanWatts float64 `json:"mean_watts"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	IOPS      float64 `json:"iops"`
+	Fitness   float64 `json:"fitness"`
+	SpinUps   int64   `json:"spin_ups"`
+}
+
+func outcomeOf(e Eval) Outcome {
+	return Outcome{
+		EnergyJ:   e.Objectives.EnergyJ,
+		MeanWatts: e.Objectives.MeanWatts,
+		P99Ms:     e.Objectives.P99Ms,
+		MeanMs:    e.Objectives.MeanMs,
+		IOPS:      e.Objectives.IOPS,
+		Fitness:   e.Fitness,
+		SpinUps:   e.Objectives.SpinUps,
+	}
+}
+
+// WhatIf is the counterfactual report for one pinned decision: the run
+// as recorded versus the run where exactly that decision went the other
+// way (a vetoed spin-down keeps the disk up, a vetoed RPM step holds
+// speed, a vetoed migration leaves the chunk in place).
+type WhatIf struct {
+	// Decision is the pinned ledger entry.
+	Decision conserve.Decision `json:"decision"`
+	// Baseline replays the ledger's configuration untouched;
+	// Counterfactual replays it with the decision vetoed.
+	Baseline       Outcome `json:"baseline"`
+	Counterfactual Outcome `json:"counterfactual"`
+	// DeltaEnergyJ and DeltaP99Ms are counterfactual minus baseline:
+	// positive energy delta means the decision was saving energy,
+	// negative p99 delta means it was costing latency.
+	DeltaEnergyJ float64 `json:"delta_energy_j"`
+	DeltaP99Ms   float64 `json:"delta_p99_ms"`
+	DeltaFitness float64 `json:"delta_fitness"`
+}
+
+// pinArbiter vetoes exactly one sequence number.  Because vetoed
+// proposals still consume sequence numbers, the rerun stays aligned
+// seq-for-seq with the recorded run up to (and including) the pin.
+type pinArbiter struct{ seq int64 }
+
+func (a pinArbiter) Approve(d conserve.Decision) bool { return d.Seq != a.seq }
+
+// Counterfactual replays the ledgered run twice — once as recorded,
+// once with decision seq vetoed — and reports the deltas.  The baseline
+// rerun is verified against the ledger entry (same kind, disk and
+// timestamp); drift means the trace, seed or code no longer match what
+// produced the ledger.
+func Counterfactual(opts Options, h LedgerHeader, decisions []conserve.Decision, seq int64, trace *blktrace.Trace) (*WhatIf, error) {
+	if seq < 0 || seq >= int64(len(decisions)) {
+		return nil, fmt.Errorf("optimize: decision %d out of range [0,%d)", seq, len(decisions))
+	}
+	pinned := decisions[seq]
+	if pinned.Forced {
+		return nil, fmt.Errorf("optimize: decision %d is a forced %s — a demand wake has no counterfactual alternative", seq, pinned.Kind)
+	}
+	if pinned.Vetoed {
+		return nil, fmt.Errorf("optimize: decision %d was already vetoed when recorded", seq)
+	}
+	pt := h.Point()
+	opts.Load = h.Load
+	opts.Config.Seed = h.Seed
+
+	// Baseline: replay as recorded, re-deriving the decision stream to
+	// verify the ledger still matches this build.
+	baseRec := &Recorder{}
+	base, err := Evaluate(opts, pt, trace, &conserve.Control{Observer: baseRec})
+	if err != nil {
+		return nil, err
+	}
+	replayed := baseRec.Decisions()
+	if int64(len(replayed)) <= seq {
+		return nil, fmt.Errorf("optimize: rerun produced only %d decisions, ledger pins %d — ledger does not match this configuration", len(replayed), seq)
+	}
+	if got := replayed[seq]; got.Kind != pinned.Kind || got.Disk != pinned.Disk || got.At != pinned.At {
+		return nil, fmt.Errorf("optimize: rerun decision %d is %s disk %d at %dns, ledger says %s disk %d at %dns — ledger does not match this configuration",
+			seq, got.Kind, got.Disk, got.At, pinned.Kind, pinned.Disk, pinned.At)
+	}
+
+	// Counterfactual: identical run with the one decision vetoed.
+	cf, err := Evaluate(opts, pt, trace, &conserve.Control{Arbiter: pinArbiter{seq: seq}})
+	if err != nil {
+		return nil, err
+	}
+
+	w := &WhatIf{
+		Decision:       pinned,
+		Baseline:       outcomeOf(base),
+		Counterfactual: outcomeOf(cf),
+	}
+	w.DeltaEnergyJ = w.Counterfactual.EnergyJ - w.Baseline.EnergyJ
+	w.DeltaP99Ms = w.Counterfactual.P99Ms - w.Baseline.P99Ms
+	w.DeltaFitness = w.Counterfactual.Fitness - w.Baseline.Fitness
+	return w, nil
+}
+
+// ReplayableDecisions filters a ledger to the entries Counterfactual
+// accepts (non-forced, non-vetoed) — what `tracer whatif -list` shows.
+func ReplayableDecisions(decisions []conserve.Decision) []conserve.Decision {
+	var out []conserve.Decision
+	for _, d := range decisions {
+		if !d.Forced && !d.Vetoed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -38,8 +39,16 @@ type Set struct {
 
 	// mergeMu serializes Merge calls on this set, so concurrent runs
 	// can each record into a private Set and fold in as they finish.
-	mergeMu sync.Mutex
-	windows []Window
+	mergeMu   sync.Mutex
+	windows   []Window
+	artifacts []artifact
+}
+
+// artifact is a named deferred payload WriteDir exports alongside the
+// standard files.
+type artifact struct {
+	name  string
+	write func(io.Writer) error
 }
 
 // New returns an empty Set.
@@ -192,6 +201,18 @@ func (s *Set) Merge(other *Set) {
 	defer s.mergeMu.Unlock()
 	s.tr.absorb(other.tr)
 	s.windows = append(s.windows, other.Windows()...)
+	s.artifacts = append(s.artifacts, other.artifacts...)
+}
+
+// AddArtifact registers a named payload to be written alongside the
+// standard exports when WriteDir runs, so run-specific files (e.g. the
+// optimize decision ledger) ride the same artifact directory CI
+// uploads.  Only the base of name is used.  No-op on a nil Set.
+func (s *Set) AddArtifact(name string, write func(io.Writer) error) {
+	if s == nil || write == nil {
+		return
+	}
+	s.artifacts = append(s.artifacts, artifact{name: name, write: write})
 }
 
 // PowerChannel is one metered power rail sampled online through
@@ -418,6 +439,19 @@ func (s *Set) WriteDir(dir string) error {
 	for _, c := range s.power {
 		if err := writePowerCSV(filepath.Join(dir, PowerFile(c.Name)), c.Samples()); err != nil {
 			return fmt.Errorf("telemetry: power %s: %w", c.Name, err)
+		}
+	}
+	for _, a := range s.artifacts {
+		f, err := os.Create(filepath.Join(dir, filepath.Base(a.name)))
+		if err != nil {
+			return err
+		}
+		if err := a.write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("telemetry: artifact %s: %w", a.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 	sf, err := os.Create(filepath.Join(dir, SummaryFile))
