@@ -10,15 +10,23 @@
 //	              [-read 0.5] [-random 0.5] [-duration 2s] [-qd 8]
 //	profile:      tracegen -from-profile profile.json {-out trace.replay | -repo DIR}
 //	              [-scale 1.0] [-bunches N] [-read-mix F]
+//	              [-periods diurnal|flash-crowd|multi-tenant|spec.json [-periods-duration D]]
 //
 // Common flags: [-text] [-seed 1].  A profile comes from `tracer
 // analyze`; synthesis is seed-deterministic, so the same profile and
 // seed always produce a byte-identical trace.  With -repo the derived
 // trace is stored in the repository under the derived-name scheme
 // instead of (or in addition to) -out.
+//
+// -periods turns on nonstationary multi-period synthesis: the profile
+// is replayed window by window under a named preset or a JSON
+// MultiPeriodSpec file (each window has its own load scale and read
+// mix), producing diurnal swings, flash crowds or multi-tenant phase
+// interleavings for cache warm-up/decay studies.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +58,7 @@ var (
 	}
 	profileFlags = map[string]bool{
 		"scale": true, "bunches": true, "read-mix": true, "repo": true,
+		"periods": true, "periods-duration": true,
 	}
 )
 
@@ -90,19 +99,39 @@ func run(args []string, out io.Writer) error {
 	bunches := fs.Int("bunches", 0, "profile synthesis: bunch count (0 = same as profile)")
 	readMix := fs.Float64("read-mix", -1, "profile synthesis: override read ratio [0,1] (-1 = keep profile's)")
 	repoDir := fs.String("repo", "", "profile synthesis: also store the trace in this repository under the derived-name scheme")
+	periods := fs.String("periods", "", "profile synthesis: nonstationary windows — a preset (diurnal, flash-crowd, multi-tenant) or a MultiPeriodSpec JSON file")
+	periodsDuration := fs.Duration("periods-duration", 10*60*1_000_000_000, "profile synthesis: total duration a -periods preset is scaled to")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := checkFlagSources(fs, *fromProfile != ""); err != nil {
 		return err
 	}
+	if *periods == "" {
+		var stray bool
+		fs.Visit(func(f *flag.Flag) { stray = stray || f.Name == "periods-duration" })
+		if stray {
+			return fmt.Errorf("-periods-duration requires -periods")
+		}
+	}
 	if *fromProfile != "" {
-		return runFromProfile(*fromProfile, *outPath, *repoDir, *text, workload.SynthOptions{
+		opts := workload.SynthOptions{
 			Seed:      *seed,
 			Bunches:   *bunches,
 			LoadScale: *scale,
 			ReadRatio: *readMix,
-		}, out)
+		}
+		if *periods != "" {
+			if *bunches != 0 || *scale != 1 {
+				return fmt.Errorf("-bunches and -scale conflict with -periods (each window sizes and scales itself)")
+			}
+			spec, err := loadPeriods(*periods, simtime.FromStd(*periodsDuration))
+			if err != nil {
+				return err
+			}
+			return runMultiPeriod(*fromProfile, *outPath, *repoDir, *text, spec, opts, out)
+		}
+		return runFromProfile(*fromProfile, *outPath, *repoDir, *text, opts, out)
 	}
 	if *outPath == "" {
 		return fmt.Errorf("-out is required")
@@ -171,6 +200,65 @@ func runFromProfile(profilePath, outPath, repoDir string, text bool, opts worklo
 		}
 		fmt.Fprintf(out, "stored %s: %d IOs in %d bunches, %.0f IOPS / %.2f MBPS offered\n",
 			filepath.Base(entry.Path), st.IOs, st.Bunches, st.MeanIOPS, st.MeanMBPS)
+	}
+	return nil
+}
+
+// loadPeriods resolves -periods: a preset name scaled to total, or a
+// JSON MultiPeriodSpec file (validated with labelled errors before any
+// synthesis runs).
+func loadPeriods(arg string, total simtime.Duration) (workload.MultiPeriodSpec, error) {
+	switch arg {
+	case "diurnal", "flash-crowd", "multi-tenant":
+		return workload.PresetSpec(arg, total)
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return workload.MultiPeriodSpec{}, fmt.Errorf("-periods %q is neither a preset (diurnal, flash-crowd, multi-tenant) nor a readable spec file: %w", arg, err)
+	}
+	var spec workload.MultiPeriodSpec
+	if err := json.Unmarshal(blob, &spec); err != nil {
+		return workload.MultiPeriodSpec{}, fmt.Errorf("periods spec %s: %w", arg, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return workload.MultiPeriodSpec{}, err
+	}
+	return spec, nil
+}
+
+// runMultiPeriod synthesizes a nonstationary trace from a profile and a
+// window spec and writes it like runFromProfile.
+func runMultiPeriod(profilePath, outPath, repoDir string, text bool, spec workload.MultiPeriodSpec, opts workload.SynthOptions, out io.Writer) error {
+	if outPath == "" && repoDir == "" {
+		return fmt.Errorf("-from-profile needs a destination: -out FILE and/or -repo DIR")
+	}
+	profile, err := workload.ReadProfile(profilePath)
+	if err != nil {
+		return err
+	}
+	tr, err := workload.SynthesizeMulti(profile, spec, opts)
+	if err != nil {
+		return err
+	}
+	st := blktrace.ComputeStats(tr)
+	if outPath != "" {
+		if err := writeTrace(outPath, tr, text); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "synthesized %s from %s x %s (%d windows, seed %d): %d IOs in %d bunches over %.1fs\n",
+			outPath, profile.Name, spec.Name, len(spec.Periods), opts.Seed, st.IOs, st.Bunches, st.Duration.Seconds())
+	}
+	if repoDir != "" {
+		repo, err := repository.Open(repoDir)
+		if err != nil {
+			return err
+		}
+		entry, err := repo.StoreDerived(profile.Device, profile.Name+"-"+spec.Name, opts.Seed, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stored %s: %d IOs in %d bunches over %.1fs\n",
+			filepath.Base(entry.Path), st.IOs, st.Bunches, st.Duration.Seconds())
 	}
 	return nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload|fleet|optimize]
+//	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload|fleet|optimize|cache]
 //	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay] [-telemetry-dir DIR]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
@@ -200,6 +200,7 @@ var table = []experiment{
 	{"workload", benchWorkload},
 	{"fleet", benchFleet},
 	{"optimize", benchOptimize},
+	{"cache", benchCache},
 }
 
 // benchWorkload exercises the characterization pipeline: wall-clock
@@ -368,6 +369,7 @@ func run(args []string, out io.Writer) error {
 	replayBenchout := fs.String("replay-benchout", replayBenchOut, "kernel experiment: sharded replay JSON report path")
 	fleetBenchout := fs.String("fleet-benchout", fleetBenchOut, "fleet experiment: JSON report path")
 	optimizeBenchout := fs.String("optimize-benchout", optimizeBenchOut, "optimize experiment: JSON report path")
+	cacheBenchout := fs.String("cache-benchout", cacheBenchOut, "cache experiment: JSON report path")
 	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
 	telDir := fs.String("telemetry-dir", "", "sweep experiment: export per-load telemetry artifacts under this directory")
 	if err := fs.Parse(args); err != nil {
@@ -377,6 +379,7 @@ func run(args []string, out io.Writer) error {
 	replayBenchOut = *replayBenchout
 	fleetBenchOut = *fleetBenchout
 	optimizeBenchOut = *optimizeBenchout
+	cacheBenchOut = *cacheBenchout
 	sweepTrace = *traceFile
 	telemetryDir = *telDir
 	if *cpuprofile != "" {
@@ -426,10 +429,10 @@ func run(args []string, out io.Writer) error {
 		if !all && !want[e.name] {
 			continue
 		}
-		// "sweep" is heavyweight; "kernel", "workload", "fleet" and
-		// "optimize" print wall-clock measurements (nondeterministic
-		// output): only on explicit request.
-		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload" || e.name == "fleet" || e.name == "optimize") {
+		// "sweep" is heavyweight; "kernel", "workload", "fleet",
+		// "optimize" and "cache" print wall-clock measurements
+		// (nondeterministic output): only on explicit request.
+		if all && (e.name == "sweep" || e.name == "kernel" || e.name == "workload" || e.name == "fleet" || e.name == "optimize" || e.name == "cache") {
 			continue
 		}
 		start := time.Now()

@@ -42,6 +42,42 @@ func cmdFleet(args []string, out io.Writer) error {
 	if *arrays < 1 {
 		return fmt.Errorf("fleet: bad array count %d", *arrays)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("fleet: bad worker count %d", *workers)
+	}
+	if *admitRate < 0 {
+		return fmt.Errorf("fleet: bad admission rate %v (want IOPS >= 0)", *admitRate)
+	}
+	if *admitBurst != 0 && *admitRate == 0 {
+		return fmt.Errorf("fleet: -admit-burst requires -admit-rate")
+	}
+	if *powerCap < 0 {
+		return fmt.Errorf("fleet: bad power cap %v W", *powerCap)
+	}
+	if *name != "" {
+		// Synthesis knobs are dead weight under -trace; a silently
+		// ignored flag would hide an operator mistake.
+		synthOnly := map[string]bool{"duration": true, "iops": true, "size": true, "read": true, "clients": true}
+		var stray string
+		fs.Visit(func(f *flag.Flag) {
+			if stray == "" && synthOnly[f.Name] {
+				stray = f.Name
+			}
+		})
+		if stray != "" {
+			return fmt.Errorf("fleet: -%s only applies to the synthetic stream and conflicts with -trace", stray)
+		}
+	} else {
+		if *read < 0 || *read > 1 {
+			return fmt.Errorf("fleet: bad read ratio %v (want [0,1])", *read)
+		}
+		if *size <= 0 {
+			return fmt.Errorf("fleet: bad request size %d", *size)
+		}
+		if *clients < 1 {
+			return fmt.Errorf("fleet: bad client count %d", *clients)
+		}
+	}
 	kind, err := experiments.KindFromString(*device)
 	if err != nil {
 		return err

@@ -18,10 +18,11 @@
 //	tracer merge     -repo DIR -traces A,B[,C...] [-label L]
 //	tracer remap     -repo DIR -trace NAME -from-bytes N -to-bytes N
 //	tracer dump      -repo DIR -trace NAME [-n 10]
-//	tracer replay    -repo DIR -trace NAME | -in FILE [-device hdd|ssd] [-load PCT] [-telemetry-dir DIR] [-cadence D]
+//	tracer replay    -repo DIR -trace NAME | -in FILE [-device hdd|ssd] [-load PCT] [-telemetry-dir DIR] [-cadence D] [-cache-tier dram|ssd [-cache-mb N] [-cache-evict P] [-cache-admit P]]
+//	tracer cachestudy [-in FILE | -repo DIR -trace NAME] [-device hdd|ssd] [-loads 50,100] [-specs uncached,dram:32,ssd:256] [-workers N] [-json FILE]
 //	tracer fleet     -arrays N [-workers W] [-policy P] [-device hdd|ssd] [-duration D] [-iops F] [-admit-rate F] [-power-cap W] [-telemetry-dir DIR]
 //	tracer report    [-dir DIR]
-//	tracer verify    [-golden DIR] [-update] [-tol F] [-telemetry-dir DIR] [-fidelity [-seed N]] [-optimize]
+//	tracer verify    [-golden DIR] [-update] [-tol F] [-telemetry-dir DIR] [-fidelity [-seed N]] [-optimize] [-cache]
 //	tracer optimize  [-policy P[,P...]] [-space SPEC] [-driver grid|evolve] [-in FILE] [-load PCT] [-workers N] [-ledger-dir DIR] [-telemetry-dir DIR]
 //	tracer whatif    -ledger FILE (-decision N | -list) [-in FILE]
 package main
@@ -88,6 +89,8 @@ func run(args []string, out io.Writer) error {
 		return cmdDump(args[1:], out)
 	case "replay":
 		return cmdReplay(args[1:], out)
+	case "cachestudy":
+		return cmdCacheStudy(args[1:], out)
 	case "fleet":
 		return cmdFleet(args[1:], out)
 	case "report":
@@ -109,7 +112,7 @@ func run(args []string, out io.Writer) error {
 
 func usage(out io.Writer) {
 	fmt.Fprintln(out, `tracer — load-controllable energy-efficiency evaluation for storage systems
-subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, fleet, report, verify, optimize, whatif`)
+subcommands: collect, gen-real, repo, stats, analyze, test, query, convert, slice, merge, remap, dump, replay, cachestudy, fleet, report, verify, optimize, whatif`)
 }
 
 // cmdCollect builds peak synthetic traces into a repository.

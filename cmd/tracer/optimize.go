@@ -84,7 +84,7 @@ func parseSpace(policy, spec string) (optimize.Space, error) {
 // decision ledger for counterfactual replay with `tracer whatif`.
 func cmdOptimize(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
-	policies := fs.String("policy", "tpm,drpm", "comma-separated conserve policies to search (tpm,drpm,eraid,pdc,maid or all)")
+	policies := fs.String("policy", "tpm,drpm", "comma-separated conserve policies to search (tpm,drpm,eraid,pdc,maid,cache or all)")
 	spaceSpec := fs.String("space", "", "custom search space 'name=v1,v2;name2=...' (single -policy only; default: built-in grid)")
 	driver := fs.String("driver", "grid", "search driver: grid or evolve")
 	generations := fs.Int("generations", 8, "evolve: generation count")
@@ -112,7 +112,7 @@ func cmdOptimize(args []string, out io.Writer) error {
 	}
 	list := strings.Split(*policies, ",")
 	if *policies == "all" {
-		list = []string{"tpm", "drpm", "eraid", "pdc", "maid"}
+		list = []string{"tpm", "drpm", "eraid", "pdc", "maid", "cache"}
 	}
 	if *spaceSpec != "" && len(list) != 1 {
 		return fmt.Errorf("optimize: -space needs exactly one -policy")

@@ -26,6 +26,12 @@ import (
 // memory-mapped ".rmap" trace (see traceconv -mode bin2map) and replays
 // it zero-copy; a load below 100% still materializes, since filtering
 // rewrites the bunch list.
+//
+// -cache-tier interposes a writeback cache (see internal/cache) between
+// the replay and the array; the remaining -cache-* flags tune it and
+// are rejected without a tier, so a typo cannot silently replay
+// uncached.  The cache front end is serial-engine only: it composes
+// with neither -replay-shards above 1 nor -mmap.
 func cmdReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	dir := fs.String("repo", "traces", "trace repository directory")
@@ -37,6 +43,7 @@ func cmdReplay(args []string, out io.Writer) error {
 	cadence := fs.Duration("cadence", 1_000_000_000, "time-series sampling cadence (sim time)")
 	shards := fs.Int("replay-shards", 1, "event-loop shards for the replay (1 = serial engine)")
 	mmap := fs.Bool("mmap", false, "load -in as a memory-mapped .rmap trace (zero-copy)")
+	cf := registerCacheFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +58,15 @@ func cmdReplay(args []string, out io.Writer) error {
 	}
 	if *mmap && *in == "" {
 		return fmt.Errorf("replay: -mmap requires -in (repository entries are not .rmap files)")
+	}
+	if err := cf.validate("replay", fs); err != nil {
+		return err
+	}
+	if *cf.tier != "" && *shards > 1 {
+		return fmt.Errorf("replay: -cache-tier does not compose with -replay-shards %d (the cache tier is serial-engine only)", *shards)
+	}
+	if *cf.tier != "" && *mmap {
+		return fmt.Errorf("replay: -cache-tier does not compose with -mmap")
 	}
 	kind, err := experiments.KindFromString(*device)
 	if err != nil {
@@ -80,6 +96,24 @@ func cmdReplay(args []string, out io.Writer) error {
 		src = tr
 	}
 	set := telemetry.New(telemetry.Options{Cadence: simtime.FromStd(*cadence)})
+	if *cf.tier != "" {
+		m, err := experiments.MeasureCachedAtLoadTelemetry(experiments.DefaultConfig(), kind, cf.spec(), src.(*blktrace.Trace), *load/100, set)
+		if err != nil {
+			return err
+		}
+		if err := set.WriteDir(*telemetryDir); err != nil {
+			return err
+		}
+		r := m.Result
+		fmt.Fprintf(out, "replayed %d IOs at load %.0f%% on %s behind %s: %.1f IOPS, %.3f MBPS, %.1f W\n",
+			r.Completed, *load, kind, m.Spec, r.IOPS, r.MBPS, m.Power)
+		fmt.Fprintf(out, "cache: %.1f%% hit (%d/%d), %d writebacks (%.1f KiB), %d evictions\n",
+			m.Cache.HitRate()*100, m.Cache.Hits, m.Cache.Hits+m.Cache.Misses,
+			m.Cache.Writebacks, float64(m.Cache.WritebackBytes)/1024, m.Cache.Evictions)
+		fmt.Fprintf(out, "telemetry written to %s (render with: tracer report -dir %s)\n",
+			*telemetryDir, *telemetryDir)
+		return nil
+	}
 	var run *experiments.TelemetryRun
 	if *shards > 1 || *mmap {
 		run, err = experiments.MeasureAtLoadTelemetrySharded(experiments.DefaultConfig(), kind, src, *load/100, set, *shards)

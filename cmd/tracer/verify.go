@@ -22,10 +22,31 @@ func cmdVerify(args []string, out io.Writer) error {
 	tol := fs.Float64("tol", 0, "relative tolerance for comparison (0 = mode default)")
 	fidelity := fs.Bool("fidelity", false, "run the workload round-trip fidelity check instead of the golden diff")
 	optimizeGate := fs.Bool("optimize", false, "run the optimize determinism gate + golden diff instead of the replay corpus")
+	cacheGate := fs.Bool("cache", false, "run the cache determinism gate + pass-through cross-check instead of the replay corpus")
 	seed := fs.Uint64("seed", 1, "fidelity synthesis seed")
 	telemetryDir := fs.String("telemetry-dir", "", "export telemetry (or, with -optimize, the winners' decision ledgers) for the first failing fixture into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cacheGate {
+		if *fidelity || *optimizeGate {
+			return fmt.Errorf("verify: -cache is mutually exclusive with -fidelity and -optimize")
+		}
+		corpusDir := *dir
+		cacheDir := *dir
+		if cacheDir == "internal/check/testdata/golden" {
+			cacheDir = "internal/check/testdata/golden/cache"
+		} else {
+			corpusDir = "" // custom dir: no replay corpus to cross-check
+		}
+		opts := check.VerifyOptions{Update: *update, Tol: *tol, TelemetryDir: *telemetryDir}
+		if err := check.VerifyCache(cacheDir, corpusDir, opts, out); err != nil {
+			return err
+		}
+		if !*update {
+			fmt.Fprintln(out, "cache corpus verified (study deterministic at workers 1/2/8, zero-capacity tier byte-identical, DRAM tier beats uncached)")
+		}
+		return nil
 	}
 	if *optimizeGate {
 		if *fidelity {

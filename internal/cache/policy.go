@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+// Admission, eviction and placement policies.  Sets are small (Ways is
+// 8 by default) so victim selection is a linear scan — deterministic,
+// allocation-free, and cheap enough for the replay hot path.
+
+// lookup finds the slot holding extent, if resident.
+func (c *Cache) lookup(extent int64) (int, bool) {
+	set := int(extent % int64(c.numSets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if ln := &c.lines[base+w]; ln.valid && ln.extent == extent {
+			return base + w, true
+		}
+	}
+	return 0, false
+}
+
+// admit decides whether a missed extent should be installed.
+func (c *Cache) admit(req storage.Request, extent int64) bool {
+	switch c.params.Admission {
+	case "zone":
+		// Prefix/zone admission: cache only the leading region of the
+		// backing address space (hot file-system metadata and small
+		// files live low in FIU-style traces).
+		return extent*c.params.ExtentBytes < c.params.AdmitZoneBytes
+	case "bypass-seq":
+		// Large transfers and long sequential runs stream efficiently
+		// from the backing array; caching them only causes pollution.
+		return req.Size < c.params.BypassBytes && c.runBytes < c.params.BypassBytes
+	default: // "always"
+		return true
+	}
+}
+
+// touch records a reference for the eviction policy.
+func (c *Cache) touch(slot int) {
+	ln := &c.lines[slot]
+	c.useTick++
+	ln.lastUse = c.useTick
+	switch c.params.Eviction {
+	case "clock":
+		ln.ref = true
+	case "2q":
+		// Segmented LRU: a re-referenced probationary line promotes
+		// into the protected segment, bounded at half the ways; the
+		// LRU protected line demotes to make room.
+		if !ln.hot {
+			ln.hot = true
+			c.boundProtected(slot)
+		}
+	}
+}
+
+// boundProtected demotes the LRU protected line of promoted's set when
+// the protected segment exceeds half the associativity.
+func (c *Cache) boundProtected(promoted int) {
+	set := promoted / c.ways
+	base := set * c.ways
+	limit := c.ways / 2
+	if limit < 1 {
+		limit = 1
+	}
+	hot := 0
+	victim, victimUse := -1, uint64(0)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid || !ln.hot {
+			continue
+		}
+		hot++
+		if base+w == promoted {
+			continue
+		}
+		if victim < 0 || ln.lastUse < victimUse {
+			victim, victimUse = base+w, ln.lastUse
+		}
+	}
+	if hot > limit && victim >= 0 {
+		c.lines[victim].hot = false
+	}
+}
+
+// victim picks the way to displace in set (all ways valid).
+func (c *Cache) victim(set int) int {
+	base := set * c.ways
+	switch c.params.Eviction {
+	case "clock":
+		// Second-chance sweep: clear reference bits until an
+		// unreferenced line is found; bounded at two revolutions.
+		for i := 0; i < 2*c.ways; i++ {
+			w := c.hands[set]
+			c.hands[set] = (w + 1) % c.ways
+			if ln := &c.lines[base+w]; ln.ref {
+				ln.ref = false
+			} else {
+				return w
+			}
+		}
+		return c.hands[set]
+	case "2q":
+		// Prefer the LRU probationary line; fall back to the LRU
+		// protected line if everything is promoted.
+		if w := c.lruWay(set, false); w >= 0 {
+			return w
+		}
+		return c.lruWay(set, true)
+	default: // "lru"
+		if w := c.lruWay(set, false); w >= 0 {
+			return w
+		}
+		return c.lruWay(set, true)
+	}
+}
+
+// lruWay returns the least-recently-used way of set among lines with
+// the given hot flag, or -1 if none match.  Plain LRU passes hot=false
+// then hot=true, which covers all lines (hot is never set by LRU).
+func (c *Cache) lruWay(set int, hot bool) int {
+	base := set * c.ways
+	best, bestUse := -1, uint64(0)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid || ln.hot != hot {
+			continue
+		}
+		if best < 0 || ln.lastUse < bestUse {
+			best, bestUse = w, ln.lastUse
+		}
+	}
+	return best
+}
+
+// install places extent into its set, evicting a victim if the set is
+// full (issuing a writeback first when the victim is dirty), and
+// returns the slot.
+func (c *Cache) install(extent int64, now simtime.Time) int {
+	set := int(extent % int64(c.numSets))
+	base := set * c.ways
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.victim(set)
+		ln := &c.lines[base+way]
+		wasDirty := ln.dirty()
+		c.stats.Evictions++
+		if wasDirty {
+			c.stats.DirtyEvictions++
+			c.issueWriteback(base+way, now)
+		}
+		if c.tel != nil {
+			c.tel.OnEviction(wasDirty)
+		}
+		c.stats.Occupancy--
+		ln.valid = false
+	}
+	slot := base + way
+	ln := &c.lines[slot]
+	c.useTick++
+	*ln = line{extent: extent, lastUse: c.useTick, ref: true, valid: true}
+	c.stats.Installs++
+	c.stats.Occupancy++
+	if c.stats.Occupancy > c.stats.MaxOccupancy {
+		c.stats.MaxOccupancy = c.stats.Occupancy
+	}
+	if c.tel != nil {
+		c.tel.OnInstall()
+	}
+	return slot
+}

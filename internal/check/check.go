@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/blktrace"
+	"repro/internal/cache"
 	"repro/internal/powersim"
 	"repro/internal/raid"
 	"repro/internal/replay"
@@ -307,6 +308,31 @@ func checkDevice(engine *simtime.Engine, dev storage.Device, res *replay.Result,
 	}
 
 	switch d := dev.(type) {
+	case *cache.Cache:
+		// Cache algebra: write conservation (every dirtied byte was
+		// either written back or is still resident — and none remain
+		// once the engine drained with idle-drain armed), set-placement
+		// and associativity bounds, occupancy recounts.  The backing
+		// array is then checked exactly as a bare array would be; the
+		// front-end op-conservation check does not apply because cache
+		// hits complete without an array op by design.
+		report.add("cache-invariants", d.CheckInvariants(now))
+		if arr, ok := d.Backing().(*raid.Array); ok {
+			report.add("raid-parity-accounting", arr.CheckInvariants())
+			report.add("disk-busy-bounded", nil)
+			report.add("op-conservation", raidOpConservation(arr))
+			// Instead, conservation holds at the cache/array boundary:
+			// after the drained run, every operation the cache issued to
+			// the backing (miss fills, bypasses, writebacks) was served
+			// by the array front, and nothing else reached it.
+			var err error
+			cs := d.Stats()
+			if issued := cs.BackingReads + cs.BackingWrites; issued != arr.FrontServed() {
+				err = fmt.Errorf("cache issued %d backing ops (reads %d + writes %d), array served %d",
+					issued, cs.BackingReads, cs.BackingWrites, arr.FrontServed())
+			}
+			report.add("backing-op-conservation", err)
+		}
 	case *raid.Array:
 		// Controller algebra (parity accounting, member self-checks,
 		// timeline monotonicity) is one composite invariant family; the

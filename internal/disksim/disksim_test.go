@@ -371,6 +371,19 @@ func TestSSDChannelParallelismSpeedsLargeRequests(t *testing.T) {
 	}
 }
 
+func TestSSDParamsResized(t *testing.T) {
+	base := MemorightSLC32()
+	small := base.Resized("cache-ssd", 256<<20)
+	if small.Name != "cache-ssd" || small.CapacityBytes != 256<<20 {
+		t.Fatalf("Resized = %q/%d", small.Name, small.CapacityBytes)
+	}
+	// Everything but identity and size carries over from the base model.
+	small.Name, small.CapacityBytes = base.Name, base.CapacityBytes
+	if small != base {
+		t.Fatalf("Resized altered model parameters: %+v != %+v", small, base)
+	}
+}
+
 func BenchmarkHDDRandomRead4K(b *testing.B) {
 	e := simtime.NewEngine()
 	h := NewHDD(e, Seagate7200())

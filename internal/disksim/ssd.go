@@ -62,6 +62,16 @@ func MemorightSLC32() SSDParams {
 	}
 }
 
+// Resized returns a copy of p renamed and with the given capacity: the
+// service-time and power model of the base device applied to a
+// different-sized part, e.g. a small cache-tier SSD cut from the
+// Memoright model.
+func (p SSDParams) Resized(name string, capacityBytes int64) SSDParams {
+	p.Name = name
+	p.CapacityBytes = capacityBytes
+	return p
+}
+
 // SSDStats accumulate per-device accounting.
 type SSDStats struct {
 	// Served counts completed requests.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/blktrace"
+	"repro/internal/cache"
 	"repro/internal/conserve"
 	"repro/internal/disksim"
 	"repro/internal/metrics"
@@ -70,6 +71,12 @@ type ConserveSpec struct {
 	MAIDCacheChunks int
 	MAIDDataTimeout simtime.Duration
 
+	// Cache fronts the stack with a writeback cache tier when the
+	// technique is "cache" (a TPM-managed JBOD behind a DRAM tier —
+	// the writeback/spin-down energy coupling).  An unset spec
+	// defaults to a 32 MiB DRAM tier.
+	Cache CacheSpec
+
 	// Control, when non-nil, receives every policy decision (and can
 	// veto them) — the optimize ledger and counterfactual replayer hook
 	// in here.  Nil runs are completely unobserved.
@@ -121,6 +128,9 @@ func (s ConserveSpec) withDefaults() ConserveSpec {
 	if s.MAIDDataTimeout <= 0 {
 		s.MAIDDataTimeout = s.TPMTimeout
 	}
+	if s.Technique == "cache" && !s.Cache.Enabled() {
+		s.Cache = CacheSpec{Tier: cache.TierDRAM, CapacityMB: 32}
+	}
 	return s
 }
 
@@ -136,6 +146,8 @@ type ConserveSystem struct {
 	MAID  *conserve.MAID
 	PDC   *conserve.PDC
 	ERAID *conserve.ERAIDArray
+	// Cache is the front tier of the "cache" technique.
+	Cache *cache.Cache
 }
 
 // WearCounts totals the spindle wear the policies inflicted across the
@@ -158,7 +170,7 @@ func NewConserveSystem(engine *simtime.Engine, spec ConserveSpec) (*ConserveSyst
 	spec = spec.withDefaults()
 	sys := &ConserveSystem{}
 	switch spec.Technique {
-	case "always-on", "tpm", "drpm":
+	case "always-on", "tpm", "drpm", "cache":
 		members := make([]conserve.Member, spec.Disks)
 		for i := range members {
 			p := spec.Drive
@@ -166,7 +178,7 @@ func NewConserveSystem(engine *simtime.Engine, spec ConserveSpec) (*ConserveSyst
 			hdd := disksim.NewHDD(engine, p)
 			sys.HDDs = append(sys.HDDs, hdd)
 			switch spec.Technique {
-			case "tpm":
+			case "tpm", "cache":
 				m := conserve.NewManagedDisk(engine, hdd, spec.TPMTimeout)
 				m.AttachDecisions(spec.Control, "tpm", i)
 				members[i] = m
@@ -183,6 +195,16 @@ func NewConserveSystem(engine *simtime.Engine, spec ConserveSpec) (*ConserveSyst
 			return nil, err
 		}
 		sys.Device, sys.Source = jbod, jbod.PowerSource()
+		if spec.Technique == "cache" {
+			// The cache fronts a spin-down-managed JBOD: its flush and
+			// idle-drain cadence decides whether members ever see idle
+			// windows longer than the TPM timeout.
+			c, err := cache.New(engine, jbod, jbod.PowerSource(), spec.Cache.Params())
+			if err != nil {
+				return nil, err
+			}
+			sys.Device, sys.Source, sys.Cache = c, c.PowerSource(), c
+		}
 	case "eraid":
 		p := conserve.DefaultERAIDParams()
 		p.Disks = spec.Disks

@@ -197,6 +197,17 @@ func (p Point) Spec() (experiments.ConserveSpec, error) {
 			spec.MAIDCacheDisks = int(v)
 		case "maid/timeout_s":
 			spec.MAIDDataTimeout = dur(v)
+		case "cache/capacity_mb":
+			spec.Cache.Tier = "dram"
+			spec.Cache.CapacityMB = v
+		case "cache/flush_s":
+			spec.Cache.Tier = "dram"
+			spec.Cache.FlushInterval = dur(v)
+		case "cache/idle_drain_s":
+			spec.Cache.Tier = "dram"
+			spec.Cache.IdleDrain = dur(v)
+		case "cache/timeout_s":
+			spec.TPMTimeout = dur(v)
 		default:
 			return spec, fmt.Errorf("optimize: policy %q has no parameter %q", p.Policy, name)
 		}
@@ -231,6 +242,15 @@ func DefaultSpace(policy string) (Space, error) {
 		return Space{Policy: policy, Dims: []Dim{
 			{Name: "cache_disks", Values: []float64{1, 2}},
 			{Name: "timeout_s", Values: []float64{2, 5, 10}},
+		}}, nil
+	case "cache":
+		// The cache technique searches the writeback cadence against
+		// the member spin-down timeout: flushing faster keeps disks
+		// awake, draining lazily buys them longer idle windows.
+		return Space{Policy: policy, Dims: []Dim{
+			{Name: "capacity_mb", Values: []float64{8, 32}},
+			{Name: "flush_s", Values: []float64{1, 5}},
+			{Name: "timeout_s", Values: []float64{2, 10}},
 		}}, nil
 	default:
 		return Space{}, fmt.Errorf("optimize: no default space for policy %q", policy)

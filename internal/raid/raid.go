@@ -331,6 +331,12 @@ func (a *Array) Disks() []Disk { return a.disks }
 // Stats returns a snapshot of controller counters.
 func (a *Array) Stats() Stats { return a.stats }
 
+// FrontServed reports the total array-level requests served (reads plus
+// writes).  Tiered front ends (the cache layer) cross-check this
+// against their own issued-operation counters: after a drained run,
+// every miss fill, bypass and writeback must have reached the array.
+func (a *Array) FrontServed() int64 { return a.stats.Reads + a.stats.Writes }
+
 // Params returns the array configuration.
 func (a *Array) Params() Params { return a.params }
 

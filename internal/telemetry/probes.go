@@ -243,3 +243,104 @@ func WireEngine(s *Set, e *simtime.Engine) {
 	r.ProbeGauge("sim.heap_pending", func() float64 { return float64(e.Pending()) })
 	r.ProbeGauge("sim.heap_max", func() float64 { return float64(e.MaxHeapDepth()) })
 }
+
+// CacheProbe instruments a cache tier: hit/miss/bypass counters,
+// writeback traffic, dirty growth and per-request latency histograms
+// split by hit/miss.  A nil probe is a no-op on every method.
+type CacheProbe struct {
+	submits, hits, misses *Counter
+	installs, evictions   *Counter
+	dirtyEvictions        *Counter
+	writebacks, wbBytes   *Counter
+	dirtied               *Counter
+	hitLatency            *Histogram
+	missLatency           *Histogram
+	tr                    *Tracer
+}
+
+// NewCacheProbe registers the cache instruments on s under the
+// "cache.<tier>." prefix; nil Set gives a nil (disabled) probe.
+func NewCacheProbe(s *Set, tier string) *CacheProbe {
+	if s == nil {
+		return nil
+	}
+	r := s.Registry()
+	prefix := fmt.Sprintf("cache.%s.", tier)
+	return &CacheProbe{
+		submits:        r.Counter(prefix + "requests"),
+		hits:           r.Counter(prefix + "hits"),
+		misses:         r.Counter(prefix + "misses"),
+		installs:       r.Counter(prefix + "installs"),
+		evictions:      r.Counter(prefix + "evictions"),
+		dirtyEvictions: r.Counter(prefix + "dirty_evictions"),
+		writebacks:     r.Counter(prefix + "writebacks"),
+		wbBytes:        r.Counter(prefix + "writeback_bytes"),
+		dirtied:        r.Counter(prefix + "bytes_dirtied"),
+		hitLatency:     r.Histogram(prefix+"hit_ns", LatencyBounds()),
+		missLatency:    r.Histogram(prefix+"miss_ns", LatencyBounds()),
+		tr:             s.Tracer(),
+	}
+}
+
+// OnSubmit records one front-end request classified as a full hit
+// (every extent it touched was resident) or a miss.
+func (p *CacheProbe) OnSubmit(hit bool) {
+	if p == nil {
+		return
+	}
+	p.submits.Inc()
+	if hit {
+		p.hits.Inc()
+	} else {
+		p.misses.Inc()
+	}
+}
+
+// OnComplete records the request's submit→complete latency on the hit
+// or miss histogram.
+func (p *CacheProbe) OnComplete(hit bool, start, finish simtime.Time) {
+	if p == nil {
+		return
+	}
+	if hit {
+		p.hitLatency.Observe(int64(finish.Sub(start)))
+	} else {
+		p.missLatency.Observe(int64(finish.Sub(start)))
+	}
+	p.tr.Emit(Span{Cat: "cache", Name: "request", TID: 0, Start: start, Dur: finish.Sub(start), Disk: -1})
+}
+
+// OnInstall records a line entering the cache.
+func (p *CacheProbe) OnInstall() {
+	if p != nil {
+		p.installs.Inc()
+	}
+}
+
+// OnEviction records a displaced line; dirty reports whether it
+// forced a writeback.
+func (p *CacheProbe) OnEviction(dirty bool) {
+	if p == nil {
+		return
+	}
+	p.evictions.Inc()
+	if dirty {
+		p.dirtyEvictions.Inc()
+	}
+}
+
+// OnDirty records dirty-union growth in bytes.
+func (p *CacheProbe) OnDirty(bytes int64) {
+	if p != nil {
+		p.dirtied.Add(bytes)
+	}
+}
+
+// OnWriteback records one writeback IO of the given payload.
+func (p *CacheProbe) OnWriteback(bytes int64) {
+	if p == nil {
+		return
+	}
+	p.writebacks.Inc()
+	p.wbBytes.Add(bytes)
+}
