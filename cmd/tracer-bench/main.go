@@ -5,6 +5,7 @@
 //
 //	tracer-bench [-run all|fig7|fig8|fig9|fig10|fig11|fig12|tableIII|tableIV|tableV|ssd|ablations|sweep|workload|fleet|optimize|cache]
 //	             [-duration D] [-outdir DIR] [-workers N] [-trace FILE.replay] [-telemetry-dir DIR]
+//	tracer-bench -compare [-compare-tol 0.15]
 //
 // Independent simulation cells (one fresh engine + array per cell) fan
 // out across -workers goroutines; results are deterministic at any
@@ -370,6 +371,8 @@ func run(args []string, out io.Writer) error {
 	fleetBenchout := fs.String("fleet-benchout", fleetBenchOut, "fleet experiment: JSON report path")
 	optimizeBenchout := fs.String("optimize-benchout", optimizeBenchOut, "optimize experiment: JSON report path")
 	cacheBenchout := fs.String("cache-benchout", cacheBenchOut, "cache experiment: JSON report path")
+	compare := fs.Bool("compare", false, "re-run benchmark families with committed BENCH_*.json baselines and fail on throughput regression")
+	compareTol := fs.Float64("compare-tol", defaultCompareTol, "fractional events/sec loss tolerated by -compare before failing")
 	traceFile := fs.String("trace", "", "sweep experiment: replay this .replay trace instead of the synthetic grid")
 	telDir := fs.String("telemetry-dir", "", "sweep experiment: export per-load telemetry artifacts under this directory")
 	if err := fs.Parse(args); err != nil {
@@ -416,6 +419,13 @@ func run(args []string, out io.Writer) error {
 	cfg := experiments.DefaultConfig()
 	cfg.CollectDuration = simtime.FromStd(*duration)
 	cfg.Workers = *workers
+
+	if *compare {
+		if *compareTol <= 0 || *compareTol >= 1 {
+			return fmt.Errorf("bad -compare-tol %v (want a fraction in (0,1))", *compareTol)
+		}
+		return runCompare(cfg, *compareTol, out)
+	}
 
 	want := map[string]bool{}
 	all := *names == "all"

@@ -9,6 +9,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/repository"
 	"repro/internal/simtime"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -36,6 +37,10 @@ func cmdFleet(args []string, out io.Writer) error {
 	dir := fs.String("repo", "traces", "trace repository directory (with -trace)")
 	name := fs.String("trace", "", "replay this repository trace instead of synthesizing a stream")
 	telemetryDir := fs.String("telemetry-dir", "", "write telemetry artifacts here (empty disables)")
+	sloPath := fs.String("slo", "", "SLO spec JSON to evaluate burn-rate alerts against (\"example\" for the built-in spec)")
+	fail := fs.String("fail", "", "inject disk failures: ARRAY@TIME[:DISK],... (e.g. 12@30s); each triggers a background rebuild")
+	mtbf := fs.Duration("mtbf", 0, "draw a seeded failure scenario with this mean time between array failures (instead of -fail)")
+	watch := fs.Bool("watch", false, "live-refresh the SLO budget table while the run progresses (requires -slo)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +58,15 @@ func cmdFleet(args []string, out io.Writer) error {
 	}
 	if *powerCap < 0 {
 		return fmt.Errorf("fleet: bad power cap %v W", *powerCap)
+	}
+	if *watch && *sloPath == "" {
+		return fmt.Errorf("fleet: -watch needs an SLO spec to watch (-slo)")
+	}
+	if *fail != "" && *mtbf != 0 {
+		return fmt.Errorf("fleet: -fail and -mtbf are mutually exclusive")
+	}
+	if *mtbf < 0 {
+		return fmt.Errorf("fleet: bad MTBF %v", *mtbf)
 	}
 	if *name != "" {
 		// Synthesis knobs are dead weight under -trace; a silently
@@ -128,15 +142,54 @@ func cmdFleet(args []string, out io.Writer) error {
 	if *admitRate > 0 {
 		bucket = fleet.NewTokenBucket(*admitRate, *admitBurst)
 	}
+	var sloEng *slo.Engine
+	if *sloPath != "" {
+		spec, err := slo.LoadSpec(*sloPath)
+		if err != nil {
+			return err
+		}
+		if sloEng, err = slo.NewEngine(spec); err != nil {
+			return err
+		}
+	}
+	var faults []fleet.Fault
+	if *fail != "" {
+		if faults, err = fleet.ParseFaults(*fail); err != nil {
+			return err
+		}
+	} else if *mtbf > 0 {
+		horizon := simtime.FromStd(*duration)
+		if d, ok := stream.(interface{ Duration() simtime.Duration }); ok {
+			horizon = d.Duration()
+		}
+		disks := cfg.HDDs
+		if kind == experiments.SSDArray {
+			disks = cfg.SSDs
+		}
+		faults = fleet.FaultsFromMTBF(*arrays, disks, simtime.FromStd(*mtbf), horizon, *seed)
+		fmt.Fprintf(out, "mtbf %v over %v: %d failure(s) drawn\n", *mtbf, horizon, len(faults))
+	}
+	var watcher *sloWatcher
+	var onBarrier func(simtime.Time)
+	if *watch {
+		watcher = newSLOWatcher(out, sloEng)
+		onBarrier = watcher.OnBarrier
+	}
 	res, err := f.Run(stream, fleet.Options{
 		Policy:    pol,
 		Admission: bucket,
 		Window:    simtime.FromStd(*window),
 		Telemetry: set,
 		PowerCapW: *powerCap,
+		SLO:       sloEng,
+		Faults:    faults,
+		OnBarrier: onBarrier,
 	})
 	if err != nil {
 		return err
+	}
+	if watcher != nil {
+		watcher.Final()
 	}
 	if set != nil {
 		if err := set.WriteDir(*telemetryDir); err != nil {
@@ -157,6 +210,27 @@ func cmdFleet(args []string, out io.Writer) error {
 		res.MeanWatts, res.EnergyJ, res.IOPSPerWatt, res.MBPSPerKW)
 	if res.PowerCapW > 0 {
 		fmt.Fprintf(out, "power cap %.1f W: headroom %.1f W\n", res.PowerCapW, res.HeadroomW)
+	}
+	for _, cl := range res.PerClass {
+		fmt.Fprintf(out, "class %s: %d done, response ms p50 %.2f, p99 %.2f, p999 %.2f, max %.2f\n",
+			cl.Class, cl.Completed, cl.P50Response.Seconds()*1000, cl.P99Response.Seconds()*1000,
+			cl.P999Response.Seconds()*1000, cl.MaxResponse.Seconds()*1000)
+	}
+	for _, ft := range res.Faults {
+		switch {
+		case ft.Error != "":
+			fmt.Fprintf(out, "fault array %d disk %d: %s\n", ft.Array, ft.Disk, ft.Error)
+		case ft.RecoveredAt > 0:
+			fmt.Fprintf(out, "fault array %d disk %d: failed %s, rebuilt by %s\n",
+				ft.Array, ft.Disk, formatSim(ft.FailedAt), formatSim(ft.RecoveredAt))
+		default:
+			fmt.Fprintf(out, "fault array %d disk %d: failed %s, still rebuilding at run end\n",
+				ft.Array, ft.Disk, formatSim(ft.FailedAt))
+		}
+	}
+	if sloEng != nil && watcher == nil {
+		st := sloEng.Snapshot()
+		fmt.Fprintf(out, "slo %s: %d alert(s), %d firing at end\n", st.Spec, st.Alerts, st.Firing)
 	}
 	if set != nil {
 		fmt.Fprintf(out, "telemetry written to %s (render with: tracer report -dir %s)\n",

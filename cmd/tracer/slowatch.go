@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/slo"
+)
+
+// renderSLOTable writes the class×objective budget table the -watch
+// dashboard refreshes: one row per objective with its window burns,
+// remaining error budget and firing state, plus per-class admission
+// counters.
+func renderSLOTable(w io.Writer, st slo.Status) {
+	fmt.Fprintf(w, "slo %s @ %s — %d alert(s), %d firing, %d unmatched\n",
+		st.Spec, formatSim(st.Now), st.Alerts, st.Firing, st.Unmatched)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CLASS\tOBJECTIVE\tKIND\tTARGET\tGOOD\tBAD\tFAST\tSLOW\tBUDGET\tSTATE")
+	for _, c := range st.Classes {
+		for _, o := range c.Objectives {
+			state := "ok"
+			if o.Firing {
+				state = "FIRING"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%g\t%d\t%d\t%.2f\t%.2f\t%s\t%s\n",
+				c.Name, o.Name, o.Kind, o.Target, o.Good, o.Bad,
+				o.FastBurn, o.SlowBurn, budgetBar(o.BudgetRemaining), state)
+		}
+	}
+	fmt.Fprintln(tw, "\nCLASS\tOFFERED\tADMITTED\tREJECTED\tCOMPLETED")
+	for _, c := range st.Classes {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", c.Name, c.Offered, c.Admitted, c.Rejected, c.Completed)
+	}
+	_ = tw.Flush()
+}
+
+// budgetBar renders an error budget as a ten-cell gauge: "#######---  70%".
+func budgetBar(rem float64) string {
+	if rem < 0 {
+		rem = 0
+	}
+	if rem > 1 {
+		rem = 1
+	}
+	full := int(rem*10 + 0.5)
+	return strings.Repeat("#", full) + strings.Repeat("-", 10-full) + fmt.Sprintf(" %3.0f%%", rem*100)
+}
+
+// formatSim renders a sim-time instant compactly.
+func formatSim(t simtime.Time) string {
+	return time.Duration(t).String()
+}
+
+// sloWatcher throttles live dashboard redraws to the wall clock: the
+// simulation crosses barriers far faster than a terminal repaints, so
+// OnBarrier only redraws every refresh interval.  ANSI home+clear
+// keeps the table in place, like watch(1).
+type sloWatcher struct {
+	out     io.Writer
+	eng     *slo.Engine
+	refresh time.Duration
+	last    time.Time
+}
+
+func newSLOWatcher(out io.Writer, eng *slo.Engine) *sloWatcher {
+	return &sloWatcher{out: out, eng: eng, refresh: 100 * time.Millisecond}
+}
+
+// OnBarrier is the fleet.Options.OnBarrier hook.
+func (sw *sloWatcher) OnBarrier(simtime.Time) {
+	now := time.Now()
+	if now.Sub(sw.last) < sw.refresh {
+		return
+	}
+	sw.last = now
+	fmt.Fprint(sw.out, "\x1b[H\x1b[2J")
+	renderSLOTable(sw.out, sw.eng.Snapshot())
+}
+
+// Final renders the end-of-run table without clearing the screen, so
+// the last state survives in the scrollback.
+func (sw *sloWatcher) Final() {
+	fmt.Fprintln(sw.out)
+	renderSLOTable(sw.out, sw.eng.Snapshot())
+}

@@ -14,7 +14,11 @@ import (
 // with tolerance-aware comparison.  -update regenerates the JSON after
 // an intentional model change.  -fidelity instead round-trips every
 // fixture through the workload characterizer (analyze → synthesize →
-// replay both) and requires the efficiency metrics to agree.
+// replay both) and requires the efficiency metrics to agree.  -slo runs
+// the rebuild-storm conformance gate: burn-rate alerts and the status
+// snapshot must be byte-identical at workers 1/2/8 and match the
+// committed goldens, with the Prometheus scrape agreeing with
+// summary.json to the exact integer.
 func cmdVerify(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	dir := fs.String("golden", "internal/check/testdata/golden", "golden fixture directory")
@@ -23,10 +27,28 @@ func cmdVerify(args []string, out io.Writer) error {
 	fidelity := fs.Bool("fidelity", false, "run the workload round-trip fidelity check instead of the golden diff")
 	optimizeGate := fs.Bool("optimize", false, "run the optimize determinism gate + golden diff instead of the replay corpus")
 	cacheGate := fs.Bool("cache", false, "run the cache determinism gate + pass-through cross-check instead of the replay corpus")
+	sloGate := fs.Bool("slo", false, "run the SLO rebuild-storm gate (burn-rate alerts byte-identical at workers 1/2/8) instead of the replay corpus")
 	seed := fs.Uint64("seed", 1, "fidelity synthesis seed")
 	telemetryDir := fs.String("telemetry-dir", "", "export telemetry (or, with -optimize, the winners' decision ledgers) for the first failing fixture into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sloGate {
+		if *fidelity || *optimizeGate || *cacheGate {
+			return fmt.Errorf("verify: -slo is mutually exclusive with -fidelity, -optimize and -cache")
+		}
+		sloDir := *dir
+		if sloDir == "internal/check/testdata/golden" {
+			sloDir = "internal/check/testdata/golden/slo"
+		}
+		opts := check.VerifyOptions{Update: *update, Tol: *tol, TelemetryDir: *telemetryDir}
+		if err := check.VerifySLO(sloDir, opts, out); err != nil {
+			return err
+		}
+		if !*update {
+			fmt.Fprintln(out, "slo corpus verified (rebuild storm fires and resolves, alerts byte-identical at workers 1/2/8, scrape agrees with summary.json)")
+		}
+		return nil
 	}
 	if *cacheGate {
 		if *fidelity || *optimizeGate {

@@ -8,18 +8,20 @@
 //	tracerd -role analyzer  -listen 127.0.0.1:7071
 //	tracerd -role generator -listen 127.0.0.1:7070 -repo traces \
 //	        [-device hdd|ssd] [-analyzer 127.0.0.1:7071] [-channel ch0] \
-//	        [-telemetry-dir DIR] [-debug-addr 127.0.0.1:6060]
+//	        [-telemetry-dir DIR] [-debug-addr 127.0.0.1:6060] [-slo spec.json]
 //	tracerd -role host -generator 127.0.0.1:7070 -analyzer 127.0.0.1:7071 \
 //	        -trace NAME -loads 10,50,100 [-db results.json]
 //
 // A generator with -telemetry-dir instruments every test it serves and,
 // on SIGINT/SIGTERM, flushes the full artifact set (summary.json,
 // series.csv, events.jsonl, trace.json) before exiting.  -debug-addr
-// serves net/http/pprof plus an expvar snapshot of the live telemetry
-// registry at /debug/vars while tests run.
+// serves net/http/pprof, an expvar snapshot of the live telemetry
+// registry at /debug/vars, the Prometheus text exposition at /metrics,
+// and — with -slo — the latest run's SLO evaluation as JSON at /slo.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -41,6 +43,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/netproto"
 	"repro/internal/repository"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -64,7 +67,8 @@ func run(args []string, out io.Writer) error {
 	loadsStr := fs.String("loads", "100", "load percentages (host)")
 	dbPath := fs.String("db", "", "results database file (host)")
 	telemetryDir := fs.String("telemetry-dir", "", "instrument tests and flush telemetry here on shutdown (generator)")
-	debugAddr := fs.String("debug-addr", "", "serve pprof + expvar telemetry snapshot on this address (generator)")
+	debugAddr := fs.String("debug-addr", "", "serve pprof + expvar + /metrics + /slo on this address (generator)")
+	sloPath := fs.String("slo", "", "SLO spec JSON evaluated over every test (generator; \"example\" for the built-in spec)")
 	oneshot := fs.Bool("oneshot", false, "exit after binding (tests)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,12 +111,19 @@ func run(args []string, out io.Writer) error {
 			set = telemetry.New(telemetry.Options{})
 			g.AttachTelemetry(set)
 		}
-		if *debugAddr != "" {
-			addr, err := serveDebug(*debugAddr, set)
+		if *sloPath != "" {
+			spec, err := slo.LoadSpec(*sloPath)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "debug server on %s (pprof + /debug/vars telemetry)\n", addr)
+			g.AttachSLO(spec)
+		}
+		if *debugAddr != "" {
+			addr, err := serveDebug(*debugAddr, set, g)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "debug server on %s (pprof, /debug/vars, /metrics, /slo)\n", addr)
 		}
 		addr, err := g.Listen(*listen)
 		if err != nil {
@@ -189,25 +200,46 @@ func flushTelemetry(closeErr error, set *telemetry.Set, dir string, out io.Write
 	return closeErr
 }
 
-// debugRegistry is the registry the expvar callback reads; a package
-// atomic (re-pointed per run) because expvar.Publish panics on
-// duplicate names, so the name is registered once per process.
+// debugRegistry is the registry the expvar and /metrics handlers read,
+// and debugGenerator backs /slo; package atomics (re-pointed per run)
+// because expvar.Publish and http.HandleFunc panic on duplicate
+// registration, so the names bind once per process.
 var (
-	debugRegistry atomic.Pointer[telemetry.Registry]
-	publishOnce   sync.Once
+	debugRegistry  atomic.Pointer[telemetry.Registry]
+	debugGenerator atomic.Pointer[cluster.GeneratorAgent]
+	publishOnce    sync.Once
 )
 
 // serveDebug starts the debug HTTP server on addr: net/http/pprof (via
-// its DefaultServeMux side-effect import) plus /debug/vars carrying a
-// "telemetry" snapshot of the live registry — counters and histogram
-// digests only; probe callbacks are skipped because they read
-// sim-goroutine-owned state.
-func serveDebug(addr string, set *telemetry.Set) (net.Addr, error) {
+// its DefaultServeMux side-effect import), /debug/vars carrying a
+// "telemetry" snapshot of the live registry, /metrics serving the same
+// registry in Prometheus text format, and /slo serving the latest SLO
+// run's evaluation.  Counters and histogram digests only; probe
+// callbacks are skipped because they read sim-goroutine-owned state.
+func serveDebug(addr string, set *telemetry.Set, g *cluster.GeneratorAgent) (net.Addr, error) {
 	debugRegistry.Store(set.Registry())
+	debugGenerator.Store(g)
 	publishOnce.Do(func() {
 		expvar.Publish("telemetry", expvar.Func(func() any {
 			return debugRegistry.Load().Snapshot()
 		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := debugRegistry.Load().WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		http.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+			st, ok := debugGenerator.Load().SLOStatus()
+			if !ok {
+				http.Error(w, "no SLO-evaluated run yet (start tests with -slo attached)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(st)
+		})
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

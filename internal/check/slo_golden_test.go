@@ -1,0 +1,62 @@
+package check
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/slo"
+)
+
+// TestSLOCorpus runs the full SLO conformance pass: the committed
+// rebuild-storm spec evaluated at workers 1, 2 and 8, the alert stream
+// and snapshot byte-identical across counts and matching the committed
+// goldens (or regenerated under -update, sharing the corpus flag).
+func TestSLOCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	err := VerifySLO("testdata/golden/slo", VerifyOptions{Update: *update}, &buf)
+	t.Log("\n" + buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PASS determinism") {
+		t.Fatalf("determinism gate did not run:\n%s", buf.String())
+	}
+}
+
+// TestStormSpecIsValid pins that the canonical spec constructs an
+// engine and round-trips through the JSON loader unchanged.
+func TestStormSpecIsValid(t *testing.T) {
+	if _, err := slo.NewEngine(StormSpec()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifySLOEmptyDirNeedsUpdate requires a committed corpus: a bare
+// directory without -update is an error pointing at the bootstrap.
+func TestVerifySLOEmptyDirNeedsUpdate(t *testing.T) {
+	err := VerifySLO(t.TempDir(), VerifyOptions{}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("empty corpus passed")
+	}
+	if !strings.Contains(err.Error(), "-update") {
+		t.Fatalf("error does not point at the bootstrap: %v", err)
+	}
+}
+
+// TestDiffGoldenBytesCatchesDrift flips one byte of a committed golden
+// and requires the exact-bytes diff to flag it.
+func TestDiffGoldenBytesCatchesDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.jsonl")
+	if err := os.WriteFile(path, []byte("{\"seq\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffGoldenBytes(path, []byte("{\"seq\":1}\n")); err != nil {
+		t.Fatalf("identical bytes flagged: %v", err)
+	}
+	if err := diffGoldenBytes(path, []byte("{\"seq\":2}\n")); err == nil {
+		t.Fatal("drift not detected")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/host"
 	"repro/internal/metrics"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/repository"
 	"repro/internal/simtime"
+	"repro/internal/slo"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
@@ -67,6 +69,9 @@ type GeneratorAgent struct {
 	logger *log.Logger
 
 	tel *telemetry.Set
+
+	sloSpec   *slo.Spec
+	sloLatest atomic.Pointer[slo.Engine]
 }
 
 // AttachTelemetry makes every subsequent test run instrumented into
@@ -79,6 +84,25 @@ type GeneratorAgent struct {
 // not serialize.  Call before Listen.  A nil set disables
 // instrumentation.
 func (g *GeneratorAgent) AttachTelemetry(set *telemetry.Set) { g.tel = set }
+
+// AttachSLO makes every subsequent test run evaluate the spec: a fresh
+// slo.Engine per run, fed from a replay observer over the filtered
+// trace, with client identity derived from sector position
+// (slo.ClientOfSector).  The latest finished run's engine backs
+// SLOStatus, which tracerd's /slo endpoint serves.  Call before
+// Listen.
+func (g *GeneratorAgent) AttachSLO(spec slo.Spec) { g.sloSpec = &spec }
+
+// SLOStatus snapshots the most recent SLO-evaluated run; ok is false
+// before the first instrumented test finishes.  Safe from any
+// goroutine.
+func (g *GeneratorAgent) SLOStatus() (slo.Status, bool) {
+	eng := g.sloLatest.Load()
+	if eng == nil {
+		return slo.Status{}, false
+	}
+	return eng.Snapshot(), true
+}
 
 // NewGeneratorAgent creates a generator serving traces from repo and
 // provisioning systems from factory.  analyzerAddr may be empty when no
@@ -186,6 +210,19 @@ func (g *GeneratorAgent) runTest(conn *netproto.Conn, seq uint64, st netproto.St
 		cycle = simtime.Second
 	}
 	opts := replay.Options{SamplingCycle: cycle}
+	// The filter materializes here (not inside ReplayFiltered) because
+	// the SLO observer classifies by bunch/package index and must see
+	// the same trace the replay iterates.
+	filtered := f.Apply(trace)
+	var sloEng *slo.Engine
+	if g.sloSpec != nil {
+		eng, err := slo.NewEngine(*g.sloSpec)
+		if err != nil {
+			return err
+		}
+		opts.Observer = slo.NewTraceObserver(eng, filtered)
+		sloEng = eng
+	}
 	finishTelemetry := func() {}
 	if g.tel != nil {
 		// Each run records into a private Set on its own engine —
@@ -201,14 +238,26 @@ func (g *GeneratorAgent) runTest(conn *netproto.Conn, seq uint64, st netproto.St
 		opts.Telemetry = telemetry.NewReplayProbe(run)
 		horizon := sut.Engine.Now().Add(trace.Duration() + 2*run.Cadence())
 		run.StartSampling(sut.Engine, horizon)
+		if sloEng != nil {
+			run.AddArtifact(slo.AlertsFile, sloEng.WriteAlerts)
+		}
 		finishTelemetry = func() {
 			run.Flush(sut.Engine.Now())
 			g.tel.Merge(run)
 		}
 	}
-	res, err := replay.ReplayFiltered(sut.Engine, sut.Device, trace, f, opts)
+	opts.Telemetry.OnFilter(filtered.NumIOs(), trace.NumIOs()-filtered.NumIOs())
+	res, err := replay.Replay(sut.Engine, sut.Device, filtered, opts)
 	if err != nil {
 		return err
+	}
+	res.Filter = f.Name()
+	if sloEng != nil {
+		// The observer advanced the engine with every completion; seal
+		// the trailing partial tick at the run's end and publish the
+		// snapshot for the debug endpoint.
+		sloEng.Finish(res.End)
+		g.sloLatest.Store(sloEng)
 	}
 	// Fold the run's telemetry in before the result frame goes out, so
 	// a host that reads the daemon set after a synchronous test sees

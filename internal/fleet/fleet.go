@@ -26,6 +26,7 @@ import (
 	"repro/internal/powersim"
 	"repro/internal/raid"
 	"repro/internal/simtime"
+	"repro/internal/slo"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
@@ -34,15 +35,19 @@ import (
 // lookahead between worker barriers.
 const DefaultWindow = 10 * simtime.Millisecond
 
-// completion records one finished IO for tail-latency accounting.
+// completion records one finished IO for tail-latency accounting and
+// (when an SLO engine rides the run) per-class attribution.
 type completion struct {
 	response simtime.Duration
+	finish   simtime.Time
+	class    int
 }
 
 // pending is one admitted request waiting for its issue event.
 type pending struct {
 	req   storage.Request
 	issue simtime.Time
+	class int
 }
 
 // member is one array of the fleet.  Its mutable fields are written by
@@ -63,6 +68,9 @@ type member struct {
 	completions []completion
 	pending     []pending
 	probe       *workerProbe
+	// sloFed counts completions already fed to the SLO engine; the
+	// coordinator consumes completions[sloFed:] at each barrier.
+	sloFed int
 }
 
 // OnEvent implements simtime.Handler: issue the pending request to the
@@ -79,7 +87,7 @@ func (m *member) OnEvent(_ *simtime.Engine, arg simtime.EventArg) {
 		if resp > m.maxResp {
 			m.maxResp = resp
 		}
-		m.completions = append(m.completions, completion{response: resp})
+		m.completions = append(m.completions, completion{response: resp, finish: finish, class: p.class})
 		m.probe.observe(p.req.Size, resp)
 	})
 }
@@ -220,6 +228,20 @@ type Options struct {
 	// PowerCapW, when positive, is the fleet power budget headroom is
 	// accounted against.
 	PowerCapW float64
+	// SLO, when non-nil, attributes every admission, rejection and
+	// completion to a tenant class and evaluates burn-rate alerts at
+	// the window barriers.  The engine's alert stream and snapshot are
+	// byte-identical at any worker count.
+	SLO *slo.Engine
+	// Faults schedules member-disk failures with background rebuilds
+	// (the rebuild-storm scenario); see Fault.
+	Faults []Fault
+	// OnBarrier, when non-nil, is called on the coordinator goroutine
+	// after every window barrier with the barrier time — the hook the
+	// `tracer fleet -watch` dashboard refreshes from.  It must only
+	// read; mutating fleet or SLO state from it breaks worker-count
+	// determinism.
+	OnBarrier func(now simtime.Time)
 }
 
 // ArrayResult is one member's share of a fleet run.
@@ -267,6 +289,22 @@ type Result struct {
 	HeadroomW float64 `json:"headroom_w,omitempty"`
 	// PerArray breaks the run down by member, fleet-index order.
 	PerArray []ArrayResult `json:"per_array"`
+	// PerClass breaks tails down by SLO class, spec order (present
+	// only when Options.SLO was set).
+	PerClass []ClassResult `json:"per_class,omitempty"`
+	// Faults reports injected fault lifecycles, schedule order.
+	Faults []FaultResult `json:"faults,omitempty"`
+}
+
+// ClassResult is one SLO class's share of a fleet run.
+type ClassResult struct {
+	Class        string           `json:"class"`
+	Completed    int64            `json:"completed"`
+	MeanResponse simtime.Duration `json:"mean_response_ns"`
+	MaxResponse  simtime.Duration `json:"max_response_ns"`
+	P50Response  simtime.Duration `json:"p50_response_ns"`
+	P99Response  simtime.Duration `json:"p99_response_ns"`
+	P999Response simtime.Duration `json:"p999_response_ns"`
 }
 
 // Run drives stream through the fleet and drains every in-flight IO.
@@ -292,6 +330,19 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("fleet: member clocks disagree (%v vs %v)", m.engine.Now(), start)
 		}
 	}
+	if err := validateFaults(opts.Faults, n); err != nil {
+		return nil, err
+	}
+	// Fault events ride the target member's own engine: they fire
+	// during that member's drain at the same virtual time regardless of
+	// which worker drains it.
+	faultResults := make([]FaultResult, len(opts.Faults))
+	for i, ft := range opts.Faults {
+		faultResults[i] = FaultResult{Array: ft.Array, Disk: ft.Disk}
+		m := f.members[ft.Array]
+		m.engine.ScheduleEvent(start.Add(ft.At), &faultTask{m: m, fault: ft, res: &faultResults[i]}, simtime.EventArg{})
+	}
+	sloEng := opts.SLO
 
 	// Pre-register every fleet column on the parent set, coordinator
 	// counters first, so the merged layout is fixed before any worker
@@ -365,6 +416,24 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 			// entries were captured by value, so the slab recycles.
 			m.pending = m.pending[:0]
 		}
+		if sloEng != nil {
+			// Feed the barrier's new completions in member order; the
+			// engine buckets by finish time, so worker count (which only
+			// permutes this order) cannot change any count.  Evaluation
+			// advances to the barrier, never past it.
+			for _, m := range f.members {
+				for _, c := range m.completions[m.sloFed:] {
+					sloEng.ObserveCompletion(c.class, m.index, c.finish, c.response)
+				}
+				m.sloFed = len(m.completions)
+			}
+			if limit != simtime.MaxTime {
+				sloEng.Advance(limit)
+			}
+		}
+		if opts.OnBarrier != nil && limit != simtime.MaxTime {
+			opts.OnBarrier(limit)
+		}
 	}
 
 	var offered, admitted, rejected int64
@@ -395,9 +464,16 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 			lastAt = next.At
 			offered++
 			offeredC.Inc()
+			class := -1
+			if sloEng != nil {
+				class = sloEng.Classify(next.At, next.Client)
+			}
 			if !bucket.Admit(next.At) {
 				rejected++
 				rejectedC.Inc()
+				if sloEng != nil {
+					sloEng.ObserveRejection(class, next.At)
+				}
 				next, ok = stream.Next()
 				continue
 			}
@@ -413,10 +489,13 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 			m.queuedBytes += next.Req.Size
 			m.admitted++
 			states[idx] = ArrayState{Outstanding: m.outstanding, QueuedBytes: m.queuedBytes, Admitted: m.admitted}
-			m.pending = append(m.pending, pending{req: next.Req, issue: next.At})
+			m.pending = append(m.pending, pending{req: next.Req, issue: next.At, class: class})
 			m.engine.ScheduleEvent(next.At, m, simtime.EventArg{I64: int64(len(m.pending) - 1)})
 			admitted++
 			admittedC.Inc()
+			if sloEng != nil {
+				sloEng.ObserveAdmission(class, next.At)
+			}
 			routed++
 			next, ok = stream.Next()
 		}
@@ -444,9 +523,16 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 		m.engine.RunUntil(end)
 	}
 
+	if sloEng != nil {
+		sloEng.Finish(end)
+	}
+
 	if tel != nil {
 		for _, w := range f.workers {
 			tel.Merge(w.probe.set)
+		}
+		if sloEng != nil {
+			tel.AddArtifact(slo.AlertsFile, sloEng.WriteAlerts)
 		}
 	}
 
@@ -455,11 +541,13 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 		Start: start, End: end,
 		Offered: offered, Admitted: admitted, Rejected: rejected,
 		PowerCapW: opts.PowerCapW,
+		Faults:    faultResults,
 	}
 	if offered > 0 {
 		res.RejectRate = float64(rejected) / float64(offered)
 	}
 	var responses []simtime.Duration
+	byClass := make(map[int][]simtime.Duration)
 	for _, m := range f.members {
 		res.Completed += m.completed
 		res.Bytes += m.bytes
@@ -468,6 +556,9 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 		}
 		for _, c := range m.completions {
 			responses = append(responses, c.response)
+			if sloEng != nil {
+				byClass[c.class] = append(byClass[c.class], c.response)
+			}
 		}
 		meter := powersim.DefaultMeter(m.array.PowerSource())
 		meter.Seed = f.cfg.Seed + uint64(m.index)
@@ -485,15 +576,28 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 		res.MBPS = float64(res.Bytes) / (1 << 20) / dur
 	}
 	if len(responses) > 0 {
-		sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
-		var sum simtime.Duration
-		for _, r := range responses {
-			sum += r
+		t := tailStats(responses)
+		res.MeanResponse, res.P50Response, res.P99Response, res.P999Response = t.Mean, t.P50, t.P99, t.P999
+	}
+	if sloEng != nil {
+		for i, name := range sloEng.ClassNames() {
+			cr := ClassResult{Class: name}
+			if rs := byClass[i]; len(rs) > 0 {
+				cr.Completed = int64(len(rs))
+				t := tailStats(rs)
+				cr.MeanResponse, cr.MaxResponse = t.Mean, t.Max
+				cr.P50Response, cr.P99Response, cr.P999Response = t.P50, t.P99, t.P999
+			}
+			res.PerClass = append(res.PerClass, cr)
 		}
-		res.MeanResponse = sum / simtime.Duration(len(responses))
-		res.P50Response = quantile(responses, 0.50)
-		res.P99Response = quantile(responses, 0.99)
-		res.P999Response = quantile(responses, 0.999)
+		if rs := byClass[-1]; len(rs) > 0 {
+			t := tailStats(rs)
+			res.PerClass = append(res.PerClass, ClassResult{
+				Class: "unmatched", Completed: int64(len(rs)),
+				MeanResponse: t.Mean, MaxResponse: t.Max,
+				P50Response: t.P50, P99Response: t.P99, P999Response: t.P999,
+			})
+		}
 	}
 	if res.MeanWatts > 0 {
 		res.IOPSPerWatt = res.IOPS / res.MeanWatts
@@ -503,6 +607,28 @@ func (f *Fleet) Run(stream Stream, opts Options) (*Result, error) {
 		res.HeadroomW = opts.PowerCapW - res.MeanWatts
 	}
 	return res, nil
+}
+
+// Tails summarises a response population: mean, max and nearest-rank
+// percentiles.
+type Tails struct {
+	Mean, Max, P50, P99, P999 simtime.Duration
+}
+
+// tailStats sorts responses in place and computes its tails.
+func tailStats(responses []simtime.Duration) Tails {
+	sort.Slice(responses, func(i, j int) bool { return responses[i] < responses[j] })
+	var sum simtime.Duration
+	for _, r := range responses {
+		sum += r
+	}
+	return Tails{
+		Mean: sum / simtime.Duration(len(responses)),
+		Max:  responses[len(responses)-1],
+		P50:  quantile(responses, 0.50),
+		P99:  quantile(responses, 0.99),
+		P999: quantile(responses, 0.999),
+	}
 }
 
 // quantile returns the nearest-rank quantile of a sorted slice.

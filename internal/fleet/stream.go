@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blktrace"
 	"repro/internal/simtime"
+	"repro/internal/slo"
 	"repro/internal/storage"
 )
 
@@ -136,11 +137,10 @@ func (s *SynthStream) Next() (ClientRequest, bool) {
 	}, true
 }
 
-// traceClientRegion is the address granularity used to derive a client
-// ID from a replayed trace: requests within the same 16 MiB region
-// count as one client, so affinity policies see the trace's spatial
-// locality.
-const traceClientRegion = int64(16<<20) / storage.SectorSize
+// Client IDs for replayed traces follow slo.ClientOfSector: requests
+// within the same 16 MiB region count as one client, so affinity
+// policies see the trace's spatial locality and the SLO engine
+// attributes replayed traffic the same way here and in tracerd.
 
 // TraceStream adapts a blktrace capture to a fleet client stream:
 // bunch arrival offsets become stream times and the originating client
@@ -171,7 +171,7 @@ func (s *TraceStream) Next() (ClientRequest, bool) {
 		s.pkg++
 		return ClientRequest{
 			At:     simtime.Time(0).Add(s.trace.BunchTime(s.bunch)),
-			Client: uint64(p.Sector / traceClientRegion),
+			Client: slo.ClientOfSector(p.Sector),
 			Req:    p.Request(),
 		}, true
 	}

@@ -122,6 +122,15 @@ type Stats struct {
 	ReconstructReads int64
 	// DegradedStripes counts write stripes planned in degraded mode.
 	DegradedStripes int64
+	// RebuildReads and RebuildWrites count background-rebuild member
+	// operations (survivor reads, replacement writes).  They ride
+	// separate counters from DiskReads/DiskWrites so the foreground
+	// write-path algebra stays exactly checkable.
+	RebuildReads, RebuildWrites int64
+	// RebuildBytes counts bytes written to the replacement member.
+	RebuildBytes int64
+	// RebuildsStarted and RebuildsCompleted count rebuild operations.
+	RebuildsStarted, RebuildsCompleted int64
 }
 
 // Array is a simulated disk array.
@@ -134,6 +143,8 @@ type Array struct {
 	failed  int // index of the failed member, or -1 when healthy
 	stats   Stats
 	tel     *telemetry.RAIDProbe
+
+	rebuild *rebuildRun // in-flight background rebuild, or nil
 }
 
 // diskAttacher is satisfied by disk models that accept a telemetry
@@ -396,6 +407,21 @@ func (a *Array) CheckInvariants() error {
 	default:
 		if s.ParityReads != 0 || s.ParityWrites != 0 || s.FullStripeWrites != 0 || s.RMWStripes != 0 {
 			return fmt.Errorf("raid: %v recorded parity traffic %+v", a.params.Level, s)
+		}
+	}
+	// Rebuild accounting: every chunk reads from all survivors then
+	// writes the replacement once, so after a completed rebuild the
+	// reads are exactly (n-1) per write; a rebuild caught mid-chunk by
+	// the end of the run may hold one chunk's reads with no write yet.
+	if s.RebuildWrites > 0 || s.RebuildReads > 0 {
+		survivors := int64(len(a.disks) - 1)
+		lo, hi := survivors*s.RebuildWrites, survivors*(s.RebuildWrites+1)
+		if a.rebuild == nil {
+			hi = lo
+		}
+		if s.RebuildReads < lo || s.RebuildReads > hi {
+			return fmt.Errorf("raid: rebuild reads %d outside [%d,%d] for %d writes over %d survivors",
+				s.RebuildReads, lo, hi, s.RebuildWrites, survivors)
 		}
 	}
 	if s.DiskWrites < s.ParityWrites {

@@ -1,0 +1,140 @@
+package raid
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/disksim"
+	"repro/internal/simtime"
+	"repro/internal/storage"
+)
+
+func TestRebuildRestoresAndAccounts(t *testing.T) {
+	e := simtime.NewEngine()
+	a, err := NewHDDArray(e, DefaultParams(), 6, disksim.Seagate7200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartRebuild(0, 0, nil); err == nil {
+		t.Fatal("rebuild on a healthy array accepted")
+	}
+	if err := a.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	const span, chunk = 8 << 20, 1 << 20
+	var finished simtime.Time
+	if err := a.StartRebuild(span, chunk, func(at simtime.Time) { finished = at }); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Rebuilding() {
+		t.Fatal("Rebuilding() false with a rebuild in flight")
+	}
+	if err := a.StartRebuild(span, chunk, nil); err == nil {
+		t.Fatal("second concurrent rebuild accepted")
+	}
+	e.Run()
+
+	if !a.Healthy() {
+		t.Fatal("array still degraded after rebuild")
+	}
+	if a.Rebuilding() {
+		t.Fatal("Rebuilding() true after completion")
+	}
+	if finished == 0 {
+		t.Fatal("done callback never fired")
+	}
+	s := a.Stats()
+	steps := int64(span / chunk)
+	if s.RebuildWrites != steps {
+		t.Fatalf("rebuild writes %d, want %d", s.RebuildWrites, steps)
+	}
+	if want := steps * 5; s.RebuildReads != want {
+		t.Fatalf("rebuild reads %d, want %d (5 survivors x %d chunks)", s.RebuildReads, want, steps)
+	}
+	if s.RebuildBytes != span {
+		t.Fatalf("rebuild bytes %d, want %d", s.RebuildBytes, span)
+	}
+	if s.RebuildsStarted != 1 || s.RebuildsCompleted != 1 {
+		t.Fatalf("rebuilds started/completed = %d/%d, want 1/1", s.RebuildsStarted, s.RebuildsCompleted)
+	}
+	// Rebuild traffic must not leak into the foreground counters.
+	if s.DiskReads != 0 || s.DiskWrites != 0 {
+		t.Fatalf("rebuild leaked into foreground disk counters: %d/%d", s.DiskReads, s.DiskWrites)
+	}
+	// The replacement absorbed the writes.
+	if served := a.Disks()[2].(*disksim.HDD).Stats().Served; served != steps {
+		t.Fatalf("replacement served %d, want %d", served, steps)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildUnderForegroundLoad(t *testing.T) {
+	e := simtime.NewEngine()
+	a, err := NewHDDArray(e, DefaultParams(), 6, disksim.Seagate7200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartRebuild(4<<20, 512<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 0))
+	completions := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		op := storage.Read
+		if rng.IntN(2) == 1 {
+			op = storage.Write
+		}
+		off := rng.Int64N(a.Capacity()/4096-64) * 4096
+		a.Submit(storage.Request{Op: op, Offset: off, Size: 4096}, func(simtime.Time) { completions++ })
+	}
+	e.Run()
+	if completions != n {
+		t.Fatalf("completed %d of %d foreground requests during rebuild", completions, n)
+	}
+	if !a.Healthy() {
+		t.Fatal("rebuild never completed")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildSlowsForeground(t *testing.T) {
+	run := func(rebuild bool) simtime.Time {
+		e := simtime.NewEngine()
+		a, err := NewHDDArray(e, DefaultParams(), 6, disksim.Seagate7200())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebuild {
+			if err := a.FailDisk(3); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.StartRebuild(16<<20, 1<<20, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewPCG(4, 4))
+		var last simtime.Time
+		for i := 0; i < 100; i++ {
+			off := rng.Int64N(a.Capacity()/4096-1) * 4096
+			a.Submit(storage.Request{Op: storage.Read, Offset: off, Size: 4096}, func(t simtime.Time) {
+				if t > last {
+					last = t
+				}
+			})
+		}
+		e.Run()
+		return last
+	}
+	quiet, storm := run(false), run(true)
+	if storm <= quiet {
+		t.Fatalf("foreground under rebuild (%v) should finish later than quiet (%v)", storm, quiet)
+	}
+}

@@ -1,0 +1,99 @@
+package slo
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/simtime"
+)
+
+// AlertsFile is the canonical artifact name for the alert stream.
+const AlertsFile = "alerts.jsonl"
+
+// Alert events.
+const (
+	EventFire    = "fire"
+	EventResolve = "resolve"
+)
+
+// ArrayBadness names one contributing array in an alert.
+type ArrayBadness struct {
+	Array int   `json:"array"`
+	Bad   int64 `json:"bad"`
+}
+
+// Alert is one line of alerts.jsonl: a burn-rate fire or resolve.
+// Every field is either an integer or the quotient of two integers, so
+// the encoding is bit-stable and the determinism gate can demand byte
+// identity across worker counts.
+type Alert struct {
+	// Seq numbers alerts from 1 in emission order — the stable key for
+	// `tracer report` drill-down.
+	Seq int `json:"seq"`
+	// At is the eval-tick boundary (sim time) the state changed at.
+	At simtime.Time `json:"at_ns"`
+	// Event is "fire" or "resolve".
+	Event     string `json:"event"`
+	Class     string `json:"class"`
+	Objective string `json:"objective"`
+	Kind      string `json:"kind"`
+	// FastBurn/SlowBurn are the window burn rates at the transition.
+	// For efficiency objectives they carry the measured IOPS/Watt and
+	// the floor instead.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// BudgetRemaining is the cumulative error budget left, in [0,1].
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// TopArrays ranks up to three arrays by fast-window attributed
+	// badness (desc, ties by index).
+	TopArrays []ArrayBadness `json:"top_arrays,omitempty"`
+}
+
+// WriteAlerts renders the stream as JSONL, one alert per line, in
+// emission order.  Shaped as a telemetry.Set artifact writer.
+func (e *Engine) WriteAlerts(w io.Writer) error {
+	e.mu.Lock()
+	alerts := e.alerts
+	e.mu.Unlock()
+	return WriteAlerts(w, alerts)
+}
+
+// WriteAlerts renders alerts as JSONL.
+func WriteAlerts(w io.Writer, alerts []Alert) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, a := range alerts {
+		if err := enc.Encode(a); err != nil {
+			return fmt.Errorf("slo: encode alert %d: %w", a.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAlerts parses a JSONL alert stream, for `tracer report` and
+// tests.
+func ReadAlerts(blob []byte) ([]Alert, error) {
+	var out []Alert
+	sc := bufio.NewScanner(bytes.NewReader(blob))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var a Alert
+		if err := json.Unmarshal(raw, &a); err != nil {
+			return nil, fmt.Errorf("slo: alerts line %d: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("slo: alerts: %w", err)
+	}
+	return out, nil
+}

@@ -89,6 +89,10 @@ type RAIDProbe struct {
 	parityReads           *Counter
 	parityWrites          *Counter
 	diskReads, diskWrites *Counter
+	rebuildReads          *Counter
+	rebuildWrites         *Counter
+	rebuildBytes          *Counter
+	rebuilds              *Counter
 	tr                    *Tracer
 }
 
@@ -108,8 +112,39 @@ func NewRAIDProbe(s *Set) *RAIDProbe {
 		parityWrites:     r.Counter("raid.parity_writes"),
 		diskReads:        r.Counter("raid.disk_reads"),
 		diskWrites:       r.Counter("raid.disk_writes"),
+		rebuildReads:     r.Counter("raid.rebuild_reads"),
+		rebuildWrites:    r.Counter("raid.rebuild_writes"),
+		rebuildBytes:     r.Counter("raid.rebuild_bytes"),
+		rebuilds:         r.Counter("raid.rebuilds_completed"),
 		tr:               s.Tracer(),
 	}
+}
+
+// OnRebuildOp records one background-rebuild member-disk operation:
+// survivor reads and replacement writes ride separate counters from
+// foreground disk traffic so the write-path algebra stays checkable.
+func (p *RAIDProbe) OnRebuildOp(write bool, bytes int64) {
+	if p == nil {
+		return
+	}
+	if write {
+		p.rebuildWrites.Inc()
+		p.rebuildBytes.Add(bytes)
+	} else {
+		p.rebuildReads.Inc()
+	}
+}
+
+// OnRebuildDone records one completed rebuild, emitting its span.
+func (p *RAIDProbe) OnRebuildDone(start, end simtime.Time, bytes int64) {
+	if p == nil {
+		return
+	}
+	p.rebuilds.Inc()
+	p.tr.Emit(Span{
+		Cat: "raid", Name: "rebuild", TID: 0,
+		Start: start, Dur: end.Sub(start), Bytes: bytes,
+	})
 }
 
 // OnStripeWrite records one stripe write's path: full-stripe (parity

@@ -1,0 +1,392 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) for the registry,
+// served by tracerd's /metrics endpoint.  Column names fold into the
+// prometheus grammar — "replay.events" becomes "tracer_replay_events"
+// — counters gain the conventional _total suffix, and histograms
+// export as cumulative _bucket/_sum/_count families.
+//
+// Probe columns are skipped on purpose: their callbacks read device
+// state owned by the simulation goroutine, and a scrape runs on an
+// HTTP goroutine.  Everything exported here is atomic-backed, the same
+// rule Registry.Snapshot applies for expvar.
+
+// PromPrefix namespaces every exported metric family.
+const PromPrefix = "tracer_"
+
+// promName folds a registry column name into the prometheus metric
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*; every illegal rune becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromFamilyName maps a registry column to its exposition family name:
+// PromPrefix plus the folded column name, with the conventional _total
+// suffix for counters.  kind is the summary.json kind string, so the
+// conformance gate can line summary columns up against a scrape.
+func PromFamilyName(name, kind string) string {
+	fam := PromPrefix + promName(name)
+	if kind == KindCounter.String() {
+		fam += "_total"
+	}
+	return fam
+}
+
+// WritePrometheus renders every atomic-backed instrument in text
+// exposition format.  Counters export as <prefix><name>_total, gauges
+// and watermarks as gauges, histograms as cumulative bucket families.
+// Two registry names that fold to the same prometheus name are an
+// error rather than a silent duplicate family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type sample struct {
+		name string
+		kind Kind
+		val  int64
+	}
+	var samples []sample
+	for _, c := range r.cols {
+		switch c.kind {
+		case KindCounter:
+			samples = append(samples, sample{c.name, KindCounter, c.counter.Value()})
+		case KindGauge:
+			samples = append(samples, sample{c.name, KindGauge, c.gauge.Value()})
+		case KindWatermark:
+			samples = append(samples, sample{c.name, KindWatermark, c.mark.Value()})
+		}
+	}
+	hists := append([]*Histogram(nil), r.hists...)
+	hname := append([]string(nil), r.hname...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]string)
+	family := func(raw, fam string) error {
+		if prev, ok := seen[fam]; ok {
+			return fmt.Errorf("telemetry: prometheus name collision: %q and %q both fold to %q", prev, raw, fam)
+		}
+		seen[fam] = raw
+		return nil
+	}
+	for _, s := range samples {
+		fam := PromPrefix + promName(s.name)
+		typ := "gauge"
+		if s.kind == KindCounter {
+			fam += "_total"
+			typ = "counter"
+		}
+		if err := family(s.name, fam); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "# HELP %s Registry %s %q.\n", fam, s.kind, s.name)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam, typ)
+		fmt.Fprintf(bw, "%s %d\n", fam, s.val)
+	}
+	for i, h := range hists {
+		fam := PromPrefix + promName(hname[i])
+		if err := family(hname[i], fam); err != nil {
+			return err
+		}
+		snap := h.Snapshot()
+		fmt.Fprintf(bw, "# HELP %s Registry histogram %q.\n", fam, hname[i])
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for j, bound := range snap.Bounds {
+			cum += snap.Counts[j]
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", fam, bound, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, snap.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", fam, snap.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", fam, snap.Count)
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name as exposed (with _bucket/_sum/...).
+	Name string
+	// Labels is the raw label block including braces, "" when absent.
+	Labels string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	HasHelp bool
+	Samples []PromSample
+}
+
+// PromExposition indexes parsed families by family name.
+type PromExposition map[string]*PromFamily
+
+// Value finds the sample with the given full name and label block and
+// reports whether it exists.
+func (e PromExposition) Value(name, labels string) (float64, bool) {
+	for _, f := range e {
+		for _, s := range f.Samples {
+			if s.Name == name && s.Labels == labels {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ValidateExposition parses a text-format scrape with a deliberately
+// strict minimal validator and returns the families.  It enforces the
+// rules the correctness gate cares about: every family declares # TYPE
+// and # HELP before its first sample, no family or sample appears
+// twice, counter values are finite and non-negative, and histogram
+// bucket counts are cumulative-monotone with le="+Inf" equal to
+// _count.
+func ValidateExposition(blob []byte) (PromExposition, error) {
+	fams := make(PromExposition)
+	order := []string{}
+	sampleSeen := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(blob))
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " ")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("prometheus: line %d: malformed comment %q", line, text)
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams[name] = f
+				order = append(order, name)
+			}
+			if fields[1] == "HELP" {
+				if f.HasHelp {
+					return nil, fmt.Errorf("prometheus: line %d: duplicate HELP for %s", line, name)
+				}
+				f.HasHelp = true
+			} else {
+				if f.Type != "" {
+					return nil, fmt.Errorf("prometheus: line %d: duplicate TYPE for %s", line, name)
+				}
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("prometheus: line %d: TYPE without a type", line)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("prometheus: line %d: TYPE for %s after its samples", line, name)
+				}
+				f.Type = fields[3]
+			}
+			continue
+		}
+		name, labels, valStr, err := splitSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus: line %d: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus: line %d: bad value %q", line, valStr)
+		}
+		fam := familyOf(fams, name)
+		if fam == nil {
+			return nil, fmt.Errorf("prometheus: line %d: sample %s has no declared family", line, name)
+		}
+		key := name + labels
+		if sampleSeen[key] {
+			return nil, fmt.Errorf("prometheus: line %d: duplicate sample %s%s", line, name, labels)
+		}
+		sampleSeen[key] = true
+		fam.Samples = append(fam.Samples, PromSample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prometheus: %w", err)
+	}
+	for _, name := range order {
+		if err := checkFamily(fams[name]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// splitSample breaks "name{labels} value" or "name value" apart.
+func splitSample(text string) (name, labels, value string, err error) {
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		j := strings.IndexByte(text, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", text)
+		}
+		name, labels, rest = text[:i], text[i:j+1], strings.TrimSpace(text[j+1:])
+	} else {
+		k := strings.IndexByte(text, ' ')
+		if k < 0 {
+			return "", "", "", fmt.Errorf("sample %q has no value", text)
+		}
+		name, rest = text[:k], strings.TrimSpace(text[k+1:])
+	}
+	// A trailing timestamp is legal in the format; the validator
+	// rejects it because nothing here should emit wall-clock times.
+	if strings.ContainsRune(rest, ' ') {
+		return "", "", "", fmt.Errorf("sample %q carries a timestamp", text)
+	}
+	if name == "" || rest == "" {
+		return "", "", "", fmt.Errorf("malformed sample %q", text)
+	}
+	return name, labels, rest, nil
+}
+
+// familyOf resolves a sample name to its declared family, trying the
+// exact name first and then the histogram/summary suffix forms.
+func familyOf(fams PromExposition, name string) *PromFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkFamily enforces the per-family rules after parsing.
+func checkFamily(f *PromFamily) error {
+	if f.Type == "" {
+		return fmt.Errorf("prometheus: family %s has no TYPE", f.Name)
+	}
+	if !f.HasHelp {
+		return fmt.Errorf("prometheus: family %s has no HELP", f.Name)
+	}
+	if len(f.Samples) == 0 {
+		return fmt.Errorf("prometheus: family %s declared but empty", f.Name)
+	}
+	switch f.Type {
+	case "counter":
+		for _, s := range f.Samples {
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) || s.Value < 0 {
+				return fmt.Errorf("prometheus: counter %s%s = %v", s.Name, s.Labels, s.Value)
+			}
+		}
+	case "gauge":
+		for _, s := range f.Samples {
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				return fmt.Errorf("prometheus: gauge %s%s = %v", s.Name, s.Labels, s.Value)
+			}
+		}
+	case "histogram":
+		return checkHistogram(f)
+	default:
+		return fmt.Errorf("prometheus: family %s has unknown type %q", f.Name, f.Type)
+	}
+	return nil
+}
+
+// checkHistogram enforces cumulative-monotone buckets in ascending le
+// order, a +Inf bucket, and bucket/count agreement.
+func checkHistogram(f *PromFamily) error {
+	type bucket struct {
+		le    float64
+		inf   bool
+		count float64
+	}
+	var buckets []bucket
+	var count, sum float64
+	var haveCount, haveSum bool
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			leStr, ok := labelValue(s.Labels, "le")
+			if !ok {
+				return fmt.Errorf("prometheus: %s bucket without le label", f.Name)
+			}
+			b := bucket{count: s.Value}
+			if leStr == "+Inf" {
+				b.inf = true
+			} else {
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("prometheus: %s bucket le=%q", f.Name, leStr)
+				}
+				b.le = le
+			}
+			buckets = append(buckets, b)
+		case f.Name + "_count":
+			count, haveCount = s.Value, true
+		case f.Name + "_sum":
+			sum, haveSum = s.Value, true
+		default:
+			return fmt.Errorf("prometheus: histogram %s has stray sample %s", f.Name, s.Name)
+		}
+	}
+	if !haveCount || !haveSum {
+		return fmt.Errorf("prometheus: histogram %s missing _count or _sum", f.Name)
+	}
+	_ = sum
+	if len(buckets) == 0 || !buckets[len(buckets)-1].inf {
+		return fmt.Errorf("prometheus: histogram %s missing le=\"+Inf\" terminal bucket", f.Name)
+	}
+	sorted := sort.SliceIsSorted(buckets[:len(buckets)-1], func(i, j int) bool {
+		return buckets[i].le < buckets[j].le
+	})
+	if !sorted {
+		return fmt.Errorf("prometheus: histogram %s buckets out of le order", f.Name)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].count < buckets[i-1].count {
+			return fmt.Errorf("prometheus: histogram %s bucket counts not cumulative at #%d", f.Name, i)
+		}
+	}
+	if buckets[len(buckets)-1].count != count {
+		return fmt.Errorf("prometheus: histogram %s +Inf bucket %v != count %v",
+			f.Name, buckets[len(buckets)-1].count, count)
+	}
+	return nil
+}
+
+// labelValue extracts one label's value from a raw {k="v",...} block.
+func labelValue(labels, key string) (string, bool) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	for _, part := range strings.Split(inner, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && k == key {
+			return strings.Trim(v, "\""), true
+		}
+	}
+	return "", false
+}

@@ -54,6 +54,18 @@ func (s MultiPeriodSpec) Duration() simtime.Duration {
 	return d
 }
 
+// PeriodAt reports the window covering offset t from trace start.
+// Gaps between windows (and anything past the last window) belong to
+// no period.
+func (s MultiPeriodSpec) PeriodAt(t simtime.Duration) (Period, bool) {
+	for _, p := range s.Periods {
+		if t >= p.Start && t < p.End() {
+			return p, true
+		}
+	}
+	return Period{}, false
+}
+
 // Validate rejects malformed specs with labelled errors: no periods,
 // zero or negative durations, negative starts or load scales, read
 // ratios above 1, and overlapping or out-of-order windows.
